@@ -1,0 +1,56 @@
+//! Fig 8: bare kvp generation speed of the TPCx-IoT driver vs number of
+//! driver instances, output to a null sink (the paper's /dev/null).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig08_generation [kvps_per_driver]
+//! ```
+
+use bench::{compare_line, PAPER_FIG8};
+use tpcx_iot::experiment::fig8_generation_speed;
+
+fn main() {
+    let kvps_per_driver: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("== Fig 8: driver generation speed (null sink) ==");
+    println!(
+        "host: {hardware_threads} hardware threads (paper: 28 cores / 56 threads); \
+         {kvps_per_driver} kvps per driver"
+    );
+    println!(
+        "{:>8} {:>9} {:>14} {:>10} {:>10}",
+        "drivers", "threads", "kvps/s", "elapsed", "cpu%(model)"
+    );
+    let mut results = Vec::new();
+    for drivers in [1usize, 2, 4, 8, 16, 32, 64] {
+        let point = fig8_generation_speed(drivers, kvps_per_driver, 10, hardware_threads);
+        println!(
+            "{:>8} {:>9} {:>14.0} {:>9.2}s {:>10.0}",
+            point.drivers,
+            point.threads,
+            point.kvps_per_sec,
+            point.elapsed_secs,
+            point.cpu_percent_model
+        );
+        results.push(point);
+    }
+
+    println!("\n== vs paper (absolute numbers differ with host core count; shape is the claim) ==");
+    for point in &results {
+        if let Some(&(_, paper, _)) = PAPER_FIG8.iter().find(|(d, _, _)| *d == point.drivers) {
+            println!(
+                "{}",
+                compare_line(
+                    &format!("{} drivers kvps/s", point.drivers),
+                    point.kvps_per_sec,
+                    paper
+                )
+            );
+        }
+    }
+}

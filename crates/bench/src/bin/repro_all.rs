@@ -1,0 +1,58 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro_all [scale]
+//! ```
+//!
+//! `scale` divides the paper's row counts (default 20 ≈ a couple of
+//! minutes; 1 = the full 50–400 M-row volumes).
+
+use bench::{scale_arg, table1_vs_paper, table3_vs_paper, PAPER_FIG8};
+use tpcx_iot::experiment::{
+    fig8_generation_speed, render_table1, render_table3, table1_experiment, table3_experiment,
+};
+
+fn main() {
+    let scale = scale_arg(20);
+    println!("##### TPCx-IoT paper reproduction — all tables and figures #####");
+    println!("row scale: 1/{scale} (rates unaffected; elapsed times shrink)\n");
+
+    // ---- Fig 8 (real measurement) ----------------------------------------
+    println!("=== Fig 8: driver generation speed (real measurement, null sink) ===");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for drivers in [1usize, 2, 4, 8, 16, 32, 64] {
+        let point = fig8_generation_speed(drivers, 100_000, 10, hardware_threads);
+        let paper = PAPER_FIG8
+            .iter()
+            .find(|(d, _, _)| *d == drivers)
+            .map(|&(_, t, _)| t)
+            .unwrap_or(f64::NAN);
+        println!(
+            "drivers {:>2}: {:>11.0} kvps/s  (paper on 28-core host: {:>9.0})  cpu%(model) {:>3.0}",
+            point.drivers, point.kvps_per_sec, paper, point.cpu_percent_model
+        );
+    }
+
+    // ---- Table I / Fig 10-15 / Table II ----------------------------------
+    println!("\n=== Table I + Fig 10-15 + Table II (8-node simulated cluster) ===");
+    let rows = table1_experiment(scale);
+    print!("{}", render_table1(&rows));
+    println!("\nmeasured vs paper:");
+    print!("{}", table1_vs_paper(&rows));
+
+    // ---- Table III / Fig 16 ----------------------------------------------
+    println!("\n=== Table III + Fig 16 (scale-out 2/4/8 nodes) ===");
+    let mut all = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        let block = table3_experiment(nodes, scale);
+        println!("\n-- {nodes}-node --");
+        print!("{}", render_table3(&block));
+        all.extend(block);
+    }
+    println!("\nmeasured vs paper:");
+    print!("{}", table3_vs_paper(&all));
+
+    println!("\n##### done #####");
+}

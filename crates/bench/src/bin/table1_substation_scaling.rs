@@ -1,0 +1,80 @@
+//! Table I + Figures 10–15 + Table II: substation scaling on the 8-node
+//! simulated cluster.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table1_substation_scaling [scale]
+//! ```
+//!
+//! `scale` divides the paper's row counts (1 = full 50–400 M rows; the
+//! default 20 finishes in under a minute and leaves all rates intact —
+//! only elapsed times shrink by the factor).
+
+use bench::{scale_arg, table1_vs_paper, PAPER_TABLE2};
+use tpcx_iot::experiment::{render_table1, table1_experiment};
+
+fn main() {
+    let scale = scale_arg(20);
+    println!("== Table I / Fig 10-15 / Table II (8 nodes), rows scaled 1/{scale} ==\n");
+    let rows = table1_experiment(scale);
+    print!("{}", render_table1(&rows));
+
+    println!("\n== Fig 10: scaling factors S_i ==");
+    for r in &rows {
+        println!("S_{:<3} = {:>5.1}", r.substations, r.scaling);
+    }
+
+    println!("\n== Fig 11: per-sensor IoTps (validity floor 20) ==");
+    for r in &rows {
+        println!(
+            "P={:<3} {:>6.1} kvps/s/sensor {}",
+            r.substations,
+            r.per_sensor,
+            if r.per_sensor >= 20.0 { "" } else { "  <-- BELOW FLOOR (invalid run)" }
+        );
+    }
+
+    println!("\n== Fig 12: avg kvps aggregated per query (validity floor 200) ==");
+    for r in &rows {
+        println!(
+            "P={:<3} {:>6.0} rows/query {}",
+            r.substations,
+            r.rows_per_query,
+            if r.rows_per_query >= 200.0 { "" } else { "  <-- below 200" }
+        );
+    }
+
+    println!("\n== Fig 13/14: query elapsed times ==");
+    for r in &rows {
+        println!(
+            "P={:<3} avg {:>6.1} ms  min {:>5.1} ms  max {:>8.0} ms  p95 {:>7.1} ms  cv {:>4.2}",
+            r.substations, r.q_avg_ms, r.q_min_ms, r.q_max_ms, r.q_p95_ms, r.q_cv
+        );
+    }
+
+    println!("\n== Fig 15 / Table II: per-substation ingest times (scaled seconds) ==");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>9} {:>7}  (paper diff%)",
+        "P", "min[s]", "max[s]", "avg[s]", "diff[s]", "diff%"
+    );
+    for r in &rows {
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|(p, _, _, _)| *p == r.substations)
+            .map(|&(_, min, max, _)| 100.0 * (max - min) / max);
+        println!(
+            "{:>5} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>6.1}%  ({})",
+            r.substations,
+            r.ingest_min_s,
+            r.ingest_max_s,
+            r.ingest_avg_s,
+            r.ingest_max_s - r.ingest_min_s,
+            r.ingest_spread() * 100.0,
+            paper
+                .map(|p| format!("{p:.1}%"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    println!("\n== measured vs paper ==");
+    print!("{}", table1_vs_paper(&rows));
+}

@@ -1,0 +1,46 @@
+//! Table III + Fig 16: gateway-node scale-out (2 → 4 → 8 nodes).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table3_scaleout [scale]
+//! ```
+
+use bench::{scale_arg, table3_vs_paper};
+use tpcx_iot::experiment::{render_table3, table3_experiment};
+
+fn main() {
+    let scale = scale_arg(20);
+    println!("== Table III / Fig 16: scale-out, rows scaled 1/{scale} ==");
+    let mut all = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        eprintln!("simulating {nodes}-node cluster ...");
+        let rows = table3_experiment(nodes, scale);
+        println!("\n-- {nodes}-node configuration --");
+        print!("{}", render_table3(&rows));
+        all.extend(rows);
+    }
+
+    println!("\n== Fig 16 shape checks ==");
+    let iotps = |nodes: usize, p: usize| {
+        all.iter()
+            .find(|r| r.nodes == nodes && r.substations == p)
+            .map(|r| r.iotps)
+            .expect("point simulated")
+    };
+    println!(
+        "single substation: 2n={:.0} > 4n={:.0} > 8n={:.0}  (fewer nodes win at P=1: {})",
+        iotps(2, 1),
+        iotps(4, 1),
+        iotps(8, 1),
+        iotps(2, 1) > iotps(4, 1) && iotps(4, 1) > iotps(8, 1)
+    );
+    println!(
+        "peak: 8n={:.0} > 4n={:.0} > 2n={:.0}  (bigger cluster wins at saturation: {})",
+        iotps(8, 48),
+        iotps(4, 48),
+        iotps(2, 48),
+        iotps(8, 48) > iotps(4, 48) && iotps(4, 48) > iotps(2, 48)
+    );
+
+    println!("\n== measured vs paper ==");
+    print!("{}", table3_vs_paper(&all));
+}

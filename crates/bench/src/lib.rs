@@ -1,0 +1,142 @@
+//! Shared helpers for the benchmark harness binaries.
+
+use tpcx_iot::experiment::{Table1Row, Table3Row};
+
+/// Paper reference values for Table I (8 nodes):
+/// `(P, rows millions, IoTps, per-sensor kvps/s)`.
+pub const PAPER_TABLE1: [(usize, u64, f64, f64); 7] = [
+    (1, 50, 9_806.0, 49.0),
+    (2, 60, 26_999.0, 67.5),
+    (4, 100, 56_822.0, 71.0),
+    (8, 240, 84_602.0, 52.9),
+    (16, 400, 133_940.0, 41.9),
+    (32, 400, 186_109.0, 29.1),
+    (48, 400, 182_815.0, 19.0),
+];
+
+/// Paper reference values for Table II (8 nodes): per-substation ingest
+/// times `(P, min s, max s, avg s)`.
+pub const PAPER_TABLE2: [(usize, f64, f64, f64); 7] = [
+    (1, 5_099.0, 5_099.0, 5_099.0),
+    (2, 2_109.0, 2_222.0, 2_166.0),
+    (4, 1_637.0, 1_845.0, 1_741.0),
+    (8, 2_524.0, 2_837.0, 2_681.0),
+    (16, 2_497.0, 2_848.0, 2_672.0),
+    (32, 1_563.0, 2_149.0, 1_856.0),
+    (48, 1_212.0, 2_188.0, 1_700.0),
+];
+
+/// Paper reference values for Table III: system-wide IoTps per
+/// `(nodes, [P=1,2,4,8,16,32,48])`.
+pub const PAPER_TABLE3: [(usize, [f64; 7]); 3] = [
+    (
+        2,
+        [21_909.0, 38_939.0, 63_076.0, 105_877.0, 114_508.0, 114_764.0, 115_486.0],
+    ),
+    (
+        4,
+        [15_706.0, 33_612.0, 57_113.0, 90_160.0, 125_603.0, 132_100.0, 134_248.0],
+    ),
+    (
+        8,
+        [9_806.0, 26_999.0, 56_822.0, 84_602.0, 133_940.0, 186_109.0, 182_815.0],
+    ),
+];
+
+/// Fig 8's paper series: `(drivers, throughput kvps/s, CPU %)` on a
+/// 28-core/56-thread Cisco UCS C220 M4.
+pub const PAPER_FIG8: [(usize, f64, f64); 7] = [
+    (1, 120_000.0, 4.0),
+    (2, 230_000.0, 8.0),
+    (4, 420_000.0, 15.0),
+    (8, 700_000.0, 30.0),
+    (16, 950_000.0, 50.0),
+    (32, 1_100_000.0, 75.0),
+    (64, 900_000.0, 100.0),
+];
+
+/// Renders a measured-vs-paper comparison line.
+pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    format!("{label:<28} measured {measured:>12.1}   paper {paper:>12.1}   ratio {ratio:>5.2}")
+}
+
+/// Appends Table I rows with their paper references for EXPERIMENTS.md.
+pub fn table1_vs_paper(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        if let Some(&(_, _, paper_iotps, paper_ps)) = PAPER_TABLE1
+            .iter()
+            .find(|(p, _, _, _)| *p == row.substations)
+        {
+            out.push_str(&compare_line(
+                &format!("P={} IoTps", row.substations),
+                row.iotps,
+                paper_iotps,
+            ));
+            out.push('\n');
+            out.push_str(&compare_line(
+                &format!("P={} per-sensor", row.substations),
+                row.per_sensor,
+                paper_ps,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Appends Table III rows with their paper references.
+pub fn table3_vs_paper(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let paper = PAPER_TABLE3
+            .iter()
+            .find(|(n, _)| *n == row.nodes)
+            .and_then(|(_, series)| {
+                [1usize, 2, 4, 8, 16, 32, 48]
+                    .iter()
+                    .position(|&p| p == row.substations)
+                    .map(|i| series[i])
+            });
+        if let Some(paper) = paper {
+            out.push_str(&compare_line(
+                &format!("{}n P={} IoTps", row.nodes, row.substations),
+                row.iotps,
+                paper,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Scale argument shared by the harness binaries: divides the paper's
+/// row counts. 1 = full paper volumes; default keeps runs in seconds.
+pub fn scale_arg(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_line_formats_ratio() {
+        let line = compare_line("x", 50.0, 100.0);
+        assert!(line.contains("0.50"));
+        assert!(line.contains("measured"));
+    }
+
+    #[test]
+    fn reference_tables_are_consistent() {
+        // Table III's 8-node series equals Table I's IoTps column.
+        let eight = PAPER_TABLE3.iter().find(|(n, _)| *n == 8).unwrap().1;
+        for (i, (_, _, iotps, _)) in PAPER_TABLE1.iter().enumerate() {
+            assert_eq!(eight[i], *iotps);
+        }
+    }
+}

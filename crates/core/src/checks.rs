@@ -1,0 +1,230 @@
+//! The benchmark's prerequisite and post-run checks (spec Fig 6):
+//!
+//! * **file check** — md5 fingerprints of all non-changeable kit files
+//!   must match the reference manifest shipped with the kit,
+//! * **data replication check** — the SUT must replicate ingested data
+//!   three ways (capped by node count, minimum two nodes for
+//!   publication),
+//! * **data check** — after a measured run, the SUT must acknowledge
+//!   exactly the requested number of ingested kvps.
+
+use crate::backend::GatewayBackend;
+use crate::md5::md5_file;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Outcome of one named check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckResult {
+    pub name: &'static str,
+    pub passed: bool,
+    pub detail: String,
+}
+
+impl CheckResult {
+    fn pass(name: &'static str, detail: impl Into<String>) -> CheckResult {
+        CheckResult {
+            name,
+            passed: true,
+            detail: detail.into(),
+        }
+    }
+
+    fn fail(name: &'static str, detail: impl Into<String>) -> CheckResult {
+        CheckResult {
+            name,
+            passed: false,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A manifest of kit files and their reference md5 fingerprints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KitManifest {
+    /// Relative path → lowercase hex md5.
+    pub entries: BTreeMap<PathBuf, String>,
+}
+
+impl KitManifest {
+    /// Fingerprints every file under `root` (recursively), producing the
+    /// reference manifest a kit release would ship.
+    pub fn fingerprint(root: &Path) -> std::io::Result<KitManifest> {
+        let mut entries = BTreeMap::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if entry.file_type()?.is_dir() {
+                    stack.push(path);
+                } else {
+                    let rel = path
+                        .strip_prefix(root)
+                        .expect("path is under root")
+                        .to_path_buf();
+                    entries.insert(rel, md5_file(&path)?);
+                }
+            }
+        }
+        Ok(KitManifest { entries })
+    }
+
+    /// Serialises to the classic `md5sum` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (path, digest) in &self.entries {
+            out.push_str(digest);
+            out.push_str("  ");
+            out.push_str(&path.to_string_lossy());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `md5sum` text format.
+    pub fn from_text(text: &str) -> Result<KitManifest, String> {
+        let mut entries = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (digest, path) = line
+                .split_once("  ")
+                .ok_or_else(|| format!("line {}: expected '<md5>  <path>'", lineno + 1))?;
+            if digest.len() != 32 || !digest.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!("line {}: bad md5 {digest:?}", lineno + 1));
+            }
+            entries.insert(PathBuf::from(path), digest.to_ascii_lowercase());
+        }
+        Ok(KitManifest { entries })
+    }
+}
+
+/// The file check: re-fingerprints `root` and compares with `reference`.
+pub fn file_check(root: &Path, reference: &KitManifest) -> CheckResult {
+    let actual = match KitManifest::fingerprint(root) {
+        Ok(m) => m,
+        Err(e) => return CheckResult::fail("file check", format!("cannot fingerprint kit: {e}")),
+    };
+    let mut problems = Vec::new();
+    for (path, digest) in &reference.entries {
+        match actual.entries.get(path) {
+            None => problems.push(format!("missing: {}", path.display())),
+            Some(d) if d != digest => problems.push(format!("modified: {}", path.display())),
+            _ => {}
+        }
+    }
+    for path in actual.entries.keys() {
+        if !reference.entries.contains_key(path) {
+            problems.push(format!("unexpected: {}", path.display()));
+        }
+    }
+    if problems.is_empty() {
+        CheckResult::pass(
+            "file check",
+            format!("{} kit files verified", reference.entries.len()),
+        )
+    } else {
+        CheckResult::fail("file check", problems.join("; "))
+    }
+}
+
+/// The data replication check: the SUT must hold ≥ `required` copies.
+pub fn replication_check(backend: &dyn GatewayBackend, required: usize) -> CheckResult {
+    let actual = backend.replication_factor();
+    if actual >= required {
+        CheckResult::pass(
+            "data replication check",
+            format!("replication factor {actual} >= required {required}"),
+        )
+    } else {
+        CheckResult::fail(
+            "data replication check",
+            format!("replication factor {actual} < required {required}"),
+        )
+    }
+}
+
+/// The post-run data check: every requested kvp must be ingested.
+pub fn data_check(backend: &dyn GatewayBackend, expected: u64) -> CheckResult {
+    let actual = backend.ingested_count();
+    if actual == expected {
+        CheckResult::pass("data check", format!("{actual} kvps ingested"))
+    } else {
+        CheckResult::fail(
+            "data check",
+            format!("expected {expected} kvps, backend reports {actual}"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn kit(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpcx-kit-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("bin")).unwrap();
+        std::fs::write(dir.join("run.sh"), "#!/bin/sh\necho run\n").unwrap();
+        std::fs::write(dir.join("bin/driver"), b"\x7fELFfake").unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_check_passes_on_pristine_kit() {
+        let dir = kit("ok");
+        let reference = KitManifest::fingerprint(&dir).unwrap();
+        let result = file_check(&dir, &reference);
+        assert!(result.passed, "{}", result.detail);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn file_check_catches_modification_and_removal() {
+        let dir = kit("bad");
+        let reference = KitManifest::fingerprint(&dir).unwrap();
+        std::fs::write(dir.join("run.sh"), "#!/bin/sh\necho TAMPERED\n").unwrap();
+        let result = file_check(&dir, &reference);
+        assert!(!result.passed);
+        assert!(result.detail.contains("modified: run.sh"));
+
+        std::fs::remove_file(dir.join("bin/driver")).unwrap();
+        let result = file_check(&dir, &reference);
+        assert!(result.detail.contains("missing"));
+
+        std::fs::write(dir.join("extra.txt"), "rogue").unwrap();
+        let result = file_check(&dir, &reference);
+        assert!(result.detail.contains("unexpected: extra.txt"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn manifest_text_round_trip() {
+        let dir = kit("text");
+        let reference = KitManifest::fingerprint(&dir).unwrap();
+        let text = reference.to_text();
+        let parsed = KitManifest::from_text(&text).unwrap();
+        assert_eq!(parsed, reference);
+        assert!(KitManifest::from_text("zzz not a manifest").is_err());
+        assert!(KitManifest::from_text("abc  file").is_err(), "short digest");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn replication_and_data_checks() {
+        let b = MemBackend::new();
+        assert!(replication_check(&b, 3).passed);
+        assert!(!replication_check(&b, 4).passed);
+
+        b.insert(b"k1", b"v").unwrap();
+        b.insert(b"k2", b"v").unwrap();
+        assert!(data_check(&b, 2).passed);
+        let failed = data_check(&b, 3);
+        assert!(!failed.passed);
+        assert!(failed.detail.contains("expected 3"));
+    }
+}

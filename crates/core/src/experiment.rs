@@ -1,0 +1,344 @@
+//! The paper's evaluation harness — regenerates every table and figure of
+//! the evaluation (and Fig 8 from §III-C) with this reproduction's
+//! components.
+//!
+//! | Artifact | Function |
+//! |----------|----------|
+//! | Fig 8    | [`fig8_generation_speed`] (real measurement of our driver) |
+//! | Table I + Fig 10–15 + Table II | [`table1_experiment`] (simulated cluster) |
+//! | Table III + Fig 16 | [`table3_experiment`] (simulated cluster) |
+//!
+//! The simulated experiments use the calibrated `simcluster` model (see
+//! that crate's docs for the calibration story); Fig 8 measures the real
+//! reading generator on this machine's cores.
+
+use crate::backend::{GatewayBackend, NullBackend};
+use crate::datagen::ReadingGenerator;
+use simcluster::{run_iteration, IterationMetrics, ModelParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Fig 8: bare driver generation speed.
+// ---------------------------------------------------------------------------
+
+/// One Fig 8 data point.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    pub drivers: usize,
+    pub threads: usize,
+    pub kvps_generated: u64,
+    pub elapsed_secs: f64,
+    pub kvps_per_sec: f64,
+    /// Modelled CPU utilisation (%). The paper measured host CPU% on a
+    /// 28-core driver server; in a container we model utilisation as
+    /// `min(100, busy_threads / hardware_threads × 100)` and report the
+    /// measured throughput as the primary series.
+    pub cpu_percent_model: f64,
+}
+
+/// Measures bare kvp generation speed with the output sent to a null
+/// sink (the paper redirected the driver's output to /dev/null).
+///
+/// `drivers` instances × 10 threads each, generating `kvps_per_driver`
+/// kvps per instance.
+pub fn fig8_generation_speed(
+    drivers: usize,
+    kvps_per_driver: u64,
+    threads_per_driver: usize,
+    hardware_threads: usize,
+) -> Fig8Point {
+    let sink = Arc::new(NullBackend::new());
+    let total_threads = drivers * threads_per_driver;
+    let per_thread = kvps_per_driver / threads_per_driver as u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..drivers {
+            for t in 0..threads_per_driver {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    let mut generator = ReadingGenerator::for_thread(
+                        crate::sensors::substation_key(d),
+                        (d * 131 + t) as u64 + 7,
+                        1_700_000_000_000,
+                        10,
+                        t,
+                        threads_per_driver,
+                    );
+                    for _ in 0..per_thread {
+                        let (k, v) = generator.next_kvp();
+                        sink.insert(&k, &v).expect("null sink never fails");
+                    }
+                });
+            }
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let kvps_generated = sink.ingested_count();
+    Fig8Point {
+        drivers,
+        threads: total_threads,
+        kvps_generated,
+        elapsed_secs,
+        kvps_per_sec: kvps_generated as f64 / elapsed_secs.max(1e-9),
+        cpu_percent_model: (total_threads as f64 / hardware_threads.max(1) as f64 * 100.0)
+            .min(100.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table I / Figures 10-15 / Table II (8-node substation scaling).
+// ---------------------------------------------------------------------------
+
+/// One row of Table I with the derived figures' series attached.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub substations: usize,
+    pub rows_millions: u64,
+    pub warmup_secs: f64,
+    pub measured_secs: f64,
+    /// System-wide ingestion rate (IoTps) — Fig 10's series.
+    pub iotps: f64,
+    /// Scaling factor vs the 1-substation row — Fig 10's annotations.
+    pub scaling: f64,
+    /// Per-sensor rate — Fig 11 (validity floor 20).
+    pub per_sensor: f64,
+    /// Avg kvps aggregated per query — Fig 12 (validity floor 200).
+    pub rows_per_query: f64,
+    /// Query latency stats (ms) — Fig 13/14.
+    pub q_avg_ms: f64,
+    pub q_min_ms: f64,
+    pub q_max_ms: f64,
+    pub q_p95_ms: f64,
+    pub q_cv: f64,
+    /// Per-substation ingest times (s) — Fig 15 / Table II.
+    pub ingest_min_s: f64,
+    pub ingest_max_s: f64,
+    pub ingest_avg_s: f64,
+}
+
+impl Table1Row {
+    /// Table II's relative difference: `(max − min) / max`.
+    pub fn ingest_spread(&self) -> f64 {
+        if self.ingest_max_s == 0.0 {
+            0.0
+        } else {
+            (self.ingest_max_s - self.ingest_min_s) / self.ingest_max_s
+        }
+    }
+}
+
+/// The paper's Table I parameters: `(substations, rows in millions)`.
+pub const TABLE1_POINTS: [(usize, u64); 7] = [
+    (1, 50),
+    (2, 60),
+    (4, 100),
+    (8, 240),
+    (16, 400),
+    (32, 400),
+    (48, 400),
+];
+
+fn row_from_iteration(
+    it: &IterationMetrics,
+    substations: usize,
+    rows_millions: u64,
+    base_iotps: Option<f64>,
+) -> Table1Row {
+    let m = &it.measured;
+    Table1Row {
+        substations,
+        rows_millions,
+        warmup_secs: it.warmup.elapsed_secs,
+        measured_secs: m.elapsed_secs,
+        iotps: m.iotps,
+        scaling: base_iotps.map(|b| m.iotps / b).unwrap_or(1.0),
+        per_sensor: m.per_sensor_iotps,
+        rows_per_query: m.avg_rows_per_query,
+        q_avg_ms: m.query_avg_ms,
+        q_min_ms: m.query_min_ms,
+        q_max_ms: m.query_max_ms,
+        q_p95_ms: m.query_p95_ms,
+        q_cv: m.query_cv,
+        ingest_min_s: m.min_ingest_secs(),
+        ingest_max_s: m.max_ingest_secs(),
+        ingest_avg_s: m.avg_ingest_secs(),
+    }
+}
+
+/// Runs the Table I experiment on the 8-node simulated cluster.
+///
+/// `scale` divides the paper's row counts (1 = full 50–400 M rows;
+/// 20 ≈ seconds of wall time). Elapsed times scale with it; rates don't.
+pub fn table1_experiment(scale: u64) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    let mut base = None;
+    for (substations, millions) in TABLE1_POINTS {
+        let params = ModelParams::hbase_testbed(8);
+        let kvps = (millions * 1_000_000 / scale.max(1)).max(100_000);
+        let it = run_iteration(&params, substations, kvps);
+        let row = row_from_iteration(&it, substations, millions, base);
+        if base.is_none() {
+            base = Some(row.iotps);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table III / Fig 16 (scale-out).
+// ---------------------------------------------------------------------------
+
+/// One Table III cell.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    pub nodes: usize,
+    pub substations: usize,
+    pub iotps: f64,
+    pub per_sensor: f64,
+}
+
+/// The substation counts of Table III.
+pub const TABLE3_SUBSTATIONS: [usize; 7] = [1, 2, 4, 8, 16, 32, 48];
+
+/// Runs the scale-out experiment for `nodes` ∈ {2, 4, 8}.
+pub fn table3_experiment(nodes: usize, scale: u64) -> Vec<Table3Row> {
+    TABLE3_SUBSTATIONS
+        .iter()
+        .map(|&substations| {
+            let params = ModelParams::hbase_testbed(nodes);
+            // Size runs so every point gets ≥ 1800 simulated seconds at
+            // the expected rate; the paper binary-searched row counts.
+            let kvps =
+                ((substations as u64) * 10_000_000 / scale.max(1)).max(200_000);
+            let it = run_iteration(&params, substations, kvps);
+            Table3Row {
+                nodes,
+                substations,
+                iotps: it.measured.iotps,
+                per_sensor: it.measured.per_sensor_iotps,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Text rendering shared by the bench binaries.
+// ---------------------------------------------------------------------------
+
+/// Renders Table I (+ the figure annotations) the way the paper prints it.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>9} {:>9} {:>11} {:>6} {:>10} {:>8} | {:>8} {:>8} {:>9} {:>8} {:>5} | {:>8} {:>8} {:>8} {:>7}",
+        "P", "rows[M]", "warm[s]", "meas[s]", "IoTps", "S_i", "kvps/s/sen", "rows/q",
+        "qavg[ms]", "qmin[ms]", "qmax[ms]", "p95[ms]", "cv",
+        "min[s]", "max[s]", "avg[s]", "diff%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9} {:>9.0} {:>9.0} {:>11.0} {:>6.1} {:>10.1} {:>8.0} | {:>8.1} {:>8.1} {:>9.0} {:>8.1} {:>5.2} | {:>8.0} {:>8.0} {:>8.0} {:>7.1}",
+            r.substations,
+            r.rows_millions,
+            r.warmup_secs,
+            r.measured_secs,
+            r.iotps,
+            r.scaling,
+            r.per_sensor,
+            r.rows_per_query,
+            r.q_avg_ms,
+            r.q_min_ms,
+            r.q_max_ms,
+            r.q_p95_ms,
+            r.q_cv,
+            r.ingest_min_s,
+            r.ingest_max_s,
+            r.ingest_avg_s,
+            r.ingest_spread() * 100.0,
+        );
+    }
+    out
+}
+
+/// Renders a Table III block for one node count.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>5} {:>11} {:>12}",
+        "nodes", "P", "IoTps", "per-sensor"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>11.0} {:>12.1}",
+            r.nodes, r.substations, r.iotps, r.per_sensor
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_generates_and_reports() {
+        let point = fig8_generation_speed(2, 20_000, 5, 8);
+        assert_eq!(point.kvps_generated, 40_000);
+        assert_eq!(point.threads, 10);
+        assert!(point.kvps_per_sec > 10_000.0, "generator should be fast");
+        assert!((0.0..=100.0).contains(&point.cpu_percent_model));
+    }
+
+    #[test]
+    fn table1_small_scale_has_paper_shape() {
+        // Heavy scale-down: this is a smoke test of the harness, the full
+        // bench binary runs the real scale.
+        let rows: Vec<Table1Row> = TABLE1_POINTS[..4]
+            .iter()
+            .scan(None, |base, &(substations, millions)| {
+                let params = ModelParams::hbase_testbed(8);
+                let it = run_iteration(&params, substations, millions * 5_000);
+                let row = row_from_iteration(&it, substations, millions, *base);
+                if base.is_none() {
+                    *base = Some(row.iotps);
+                }
+                Some(row)
+            })
+            .collect();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].scaling - 1.0).abs() < 1e-9);
+        assert!(rows[1].scaling > 2.0, "super-linear at P=2");
+        assert!(rows[3].iotps > rows[2].iotps);
+        let text = render_table1(&rows);
+        assert!(text.contains("IoTps"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn table3_render() {
+        let rows = vec![
+            Table3Row {
+                nodes: 2,
+                substations: 1,
+                iotps: 21_909.0,
+                per_sensor: 109.5,
+            },
+            Table3Row {
+                nodes: 2,
+                substations: 2,
+                iotps: 38_939.0,
+                per_sensor: 97.3,
+            },
+        ];
+        let text = render_table3(&rows);
+        assert!(text.contains("21909"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

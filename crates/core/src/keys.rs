@@ -1,0 +1,220 @@
+//! The kvp schema of the spec's Fig 7.
+//!
+//! ```text
+//! key   := <substation key> '|' <sensor key> '|' <POSIX millis, zero-padded>
+//! value := <sensor value (1-20 chars)> '|' <unit (4-34 chars)> '|' <padding>
+//! ```
+//!
+//! Every kvp is padded to exactly [`KVP_SIZE`] = 1024 bytes (key +
+//! value), matching the spec's 1 KB sensor reading. Timestamps are
+//! zero-padded so lexicographic key order equals chronological order per
+//! sensor — the property range queries rely on.
+
+use bytes::Bytes;
+
+/// Total size of one encoded kvp (key bytes + value bytes).
+pub const KVP_SIZE: usize = 1024;
+
+/// Separator between key/value components.
+pub const SEP: u8 = b'|';
+
+/// Width of the zero-padded millisecond timestamp. 13 digits covers POSIX
+/// milliseconds until the year 2286.
+pub const TS_WIDTH: usize = 13;
+
+/// One decoded sensor reading.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorReading {
+    /// Uniquely identifies the power substation (1–64 chars).
+    pub substation: String,
+    /// Uniquely identifies the sensor within the substation (1–64 chars).
+    pub sensor: String,
+    /// POSIX timestamp in milliseconds.
+    pub timestamp_ms: u64,
+    /// The measured value rendered to 1–20 chars.
+    pub value: String,
+    /// The measurement unit (4–34 chars).
+    pub unit: String,
+}
+
+/// Encodes a reading into `(key, value)` padded to [`KVP_SIZE`] total.
+///
+/// # Panics
+///
+/// Panics if a component exceeds its spec bounds (generation code always
+/// respects them; external input should be validated first).
+pub fn encode_reading(r: &SensorReading) -> (Bytes, Bytes) {
+    assert!(
+        !r.substation.is_empty() && r.substation.len() <= 64,
+        "substation key must be 1-64 chars"
+    );
+    assert!(
+        !r.sensor.is_empty() && r.sensor.len() <= 64,
+        "sensor key must be 1-64 chars"
+    );
+    assert!(
+        !r.value.is_empty() && r.value.len() <= 20,
+        "sensor value must be 1-20 chars"
+    );
+    assert!(
+        r.unit.len() >= 4 && r.unit.len() <= 34,
+        "unit must be 4-34 chars"
+    );
+
+    let mut key = Vec::with_capacity(r.substation.len() + r.sensor.len() + TS_WIDTH + 2);
+    key.extend_from_slice(r.substation.as_bytes());
+    key.push(SEP);
+    key.extend_from_slice(r.sensor.as_bytes());
+    key.push(SEP);
+    key.extend_from_slice(format!("{:0width$}", r.timestamp_ms, width = TS_WIDTH).as_bytes());
+
+    let payload_len = key.len() + r.value.len() + 1 + r.unit.len() + 1;
+    assert!(
+        payload_len < KVP_SIZE,
+        "reading exceeds the 1 KB kvp budget"
+    );
+    let padding = KVP_SIZE - payload_len;
+
+    let mut value = Vec::with_capacity(KVP_SIZE - key.len());
+    value.extend_from_slice(r.value.as_bytes());
+    value.push(SEP);
+    value.extend_from_slice(r.unit.as_bytes());
+    value.push(SEP);
+    // Deterministic filler (the spec says "random text"; the content is
+    // never read back, only its volume matters).
+    value.extend(std::iter::repeat(b'x').take(padding));
+    debug_assert_eq!(key.len() + value.len(), KVP_SIZE);
+    (Bytes::from(key), Bytes::from(value))
+}
+
+/// Decodes `(key, value)` back into a [`SensorReading`].
+pub fn decode_reading(key: &[u8], value: &[u8]) -> Option<SensorReading> {
+    let key_str = std::str::from_utf8(key).ok()?;
+    let mut parts = key_str.splitn(3, '|');
+    let substation = parts.next()?.to_string();
+    let sensor = parts.next()?.to_string();
+    let timestamp_ms: u64 = parts.next()?.parse().ok()?;
+
+    let value_str = std::str::from_utf8(value).ok()?;
+    let mut parts = value_str.splitn(3, '|');
+    let value = parts.next()?.to_string();
+    let unit = parts.next()?.to_string();
+    parts.next()?; // padding present
+
+    Some(SensorReading {
+        substation,
+        sensor,
+        timestamp_ms,
+        value,
+        unit,
+    })
+}
+
+/// The key prefix owning all readings of one sensor: `substation|sensor|`.
+pub fn sensor_prefix(substation: &str, sensor: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(substation.len() + sensor.len() + 2);
+    p.extend_from_slice(substation.as_bytes());
+    p.push(SEP);
+    p.extend_from_slice(sensor.as_bytes());
+    p.push(SEP);
+    p
+}
+
+/// Key range `[start, end)` covering one sensor's readings with
+/// timestamps in `[from_ms, to_ms)`.
+pub fn sensor_time_range(
+    substation: &str,
+    sensor: &str,
+    from_ms: u64,
+    to_ms: u64,
+) -> (Vec<u8>, Vec<u8>) {
+    let prefix = sensor_prefix(substation, sensor);
+    let mut start = prefix.clone();
+    start.extend_from_slice(format!("{:0width$}", from_ms, width = TS_WIDTH).as_bytes());
+    let mut end = prefix;
+    end.extend_from_slice(format!("{:0width$}", to_ms, width = TS_WIDTH).as_bytes());
+    (start, end)
+}
+
+/// The key prefix owning all data of one substation.
+pub fn substation_prefix(substation: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(substation.len() + 1);
+    p.extend_from_slice(substation.as_bytes());
+    p.push(SEP);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            substation: "PSS-000042".into(),
+            sensor: "pmu-017".into(),
+            timestamp_ms: 1_700_000_123_456,
+            value: "13.74".into(),
+            unit: "kV".into(), // too short on purpose for one test below
+        }
+    }
+
+    #[test]
+    fn round_trip_and_size() {
+        let mut r = reading();
+        r.unit = "kilovolt".into();
+        let (k, v) = encode_reading(&r);
+        assert_eq!(k.len() + v.len(), KVP_SIZE, "exactly 1 KB");
+        let back = decode_reading(&k, &v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit must be 4-34 chars")]
+    fn short_unit_rejected() {
+        encode_reading(&reading());
+    }
+
+    #[test]
+    fn keys_order_chronologically() {
+        let mut r = reading();
+        r.unit = "volts".into();
+        let (k1, _) = encode_reading(&r);
+        r.timestamp_ms += 1;
+        let (k2, _) = encode_reading(&r);
+        r.timestamp_ms = 9_999_999_999_999; // 13 digits max
+        let (k3, _) = encode_reading(&r);
+        assert!(k1 < k2 && k2 < k3);
+    }
+
+    #[test]
+    fn time_range_covers_exactly_the_window() {
+        let mut r = reading();
+        r.unit = "volts".into();
+        let (start, end) = sensor_time_range(&r.substation, &r.sensor, r.timestamp_ms, r.timestamp_ms + 5000);
+        let (k, _) = encode_reading(&r);
+        assert!(k.as_ref() >= start.as_slice() && k.as_ref() < end.as_slice());
+        r.timestamp_ms += 5000;
+        let (k, _) = encode_reading(&r);
+        assert!(k.as_ref() >= end.as_slice(), "end bound is exclusive");
+        // A different sensor never falls in the range.
+        r.sensor = "pmu-018".into();
+        r.timestamp_ms -= 2500;
+        let (k, _) = encode_reading(&r);
+        assert!(!(k.as_ref() >= start.as_slice() && k.as_ref() < end.as_slice()));
+    }
+
+    #[test]
+    fn prefixes_nest() {
+        let sp = substation_prefix("PSS-1");
+        let snp = sensor_prefix("PSS-1", "s-1");
+        assert!(snp.starts_with(&sp));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_reading(b"no-separators", b"x|unit|pad").is_none());
+        assert!(decode_reading(b"a|b|notanumber", b"x|unit|pad").is_none());
+        assert!(decode_reading(b"a|b|123", b"missingparts").is_none());
+        assert!(decode_reading(&[0xff, 0xfe], b"x|unit|pad").is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! The three primary metrics (spec §III-F).
+//!
+//! * **IoTps** — `N_m / (TS_end,m − TS_start,m)` where *m* is the
+//!   *performance run*: of the two measured runs, the one with the lower
+//!   ingested count (ties broken by the longer elapsed time, i.e. the
+//!   lower rate — conservative either way),
+//! * **$/IoTps** — 3-year total cost of ownership per unit IoTps,
+//! * **system availability** — the date all priced components are
+//!   generally available.
+
+/// The facts of one measured run needed for metric derivation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredRun {
+    /// kvps ingested (N_i).
+    pub ingested: u64,
+    /// `TS_end − TS_start` in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl MeasuredRun {
+    pub fn rate(&self) -> f64 {
+        self.ingested as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+/// Picks the performance run *m* from the two iterations' measured runs:
+/// the run with the lower `N`; if both ingested the same count (the
+/// common case — the kit ingests a fixed number), the slower run.
+pub fn performance_run(run1: MeasuredRun, run2: MeasuredRun) -> MeasuredRun {
+    match run1.ingested.cmp(&run2.ingested) {
+        std::cmp::Ordering::Less => run1,
+        std::cmp::Ordering::Greater => run2,
+        std::cmp::Ordering::Equal => {
+            if run1.elapsed_secs >= run2.elapsed_secs {
+                run1
+            } else {
+                run2
+            }
+        }
+    }
+}
+
+/// `IoTps` of a measured run (equation 4).
+pub fn iotps(run: MeasuredRun) -> f64 {
+    run.rate()
+}
+
+/// `$/IoTps` (equation 5): ownership cost divided by the performance
+/// run's IoTps.
+pub fn price_performance(ownership_cost_usd: f64, run: MeasuredRun) -> f64 {
+    ownership_cost_usd * run.elapsed_secs / run.ingested as f64
+}
+
+/// The complete primary-metric triple of a benchmark result.
+#[derive(Clone, Debug)]
+pub struct BenchmarkMetrics {
+    pub iotps: f64,
+    pub price_per_iotps: f64,
+    /// ISO-8601 date all priced line items are generally available.
+    pub availability_date: String,
+}
+
+impl BenchmarkMetrics {
+    pub fn derive(
+        run1: MeasuredRun,
+        run2: MeasuredRun,
+        ownership_cost_usd: f64,
+        availability_date: impl Into<String>,
+    ) -> BenchmarkMetrics {
+        let m = performance_run(run1, run2);
+        BenchmarkMetrics {
+            iotps: iotps(m),
+            price_per_iotps: price_performance(ownership_cost_usd, m),
+            availability_date: availability_date.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iotps_is_rate() {
+        let run = MeasuredRun {
+            ingested: 400_000_000,
+            elapsed_secs: 2_149.0,
+        };
+        // The paper's 32-substation row: ~186k IoTps.
+        assert!((iotps(run) - 186_133.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn performance_run_prefers_lower_count_then_slower() {
+        let fast = MeasuredRun {
+            ingested: 100,
+            elapsed_secs: 1.0,
+        };
+        let slow = MeasuredRun {
+            ingested: 100,
+            elapsed_secs: 2.0,
+        };
+        assert_eq!(performance_run(fast, slow), slow);
+        assert_eq!(performance_run(slow, fast), slow);
+
+        let fewer = MeasuredRun {
+            ingested: 50,
+            elapsed_secs: 0.1,
+        };
+        assert_eq!(performance_run(fast, fewer), fewer);
+        assert_eq!(performance_run(fewer, fast), fewer);
+    }
+
+    #[test]
+    fn price_performance_consistent_with_iotps() {
+        let run = MeasuredRun {
+            ingested: 1_000_000,
+            elapsed_secs: 2000.0,
+        };
+        let cost = 500_000.0;
+        let ppp = price_performance(cost, run);
+        assert!((ppp - cost / iotps(run)).abs() < 1e-9);
+        assert!((ppp - 1000.0).abs() < 1e-9); // $500k at 500 IoTps
+    }
+
+    #[test]
+    fn derive_assembles_all_three() {
+        let m = BenchmarkMetrics::derive(
+            MeasuredRun {
+                ingested: 1000,
+                elapsed_secs: 10.0,
+            },
+            MeasuredRun {
+                ingested: 1000,
+                elapsed_secs: 12.5,
+            },
+            800.0,
+            "2026-07-01",
+        );
+        assert_eq!(m.iotps, 80.0); // slower run governs
+        assert_eq!(m.price_per_iotps, 10.0);
+        assert_eq!(m.availability_date, "2026-07-01");
+    }
+}

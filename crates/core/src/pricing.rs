@@ -1,0 +1,236 @@
+//! TPC pricing (spec §IV-B): the priced configuration, 3-year
+//! maintenance, availability, and component substitution rules.
+
+/// One line item of a priced configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineItem {
+    pub part_number: String,
+    pub description: String,
+    pub unit_price_usd: f64,
+    pub quantity: u32,
+    /// Flat 3-year maintenance price for the whole line (spec requires
+    /// three years of maintenance on every priced component).
+    pub maintenance_3yr_usd: f64,
+    /// ISO-8601 general-availability date of this component.
+    pub available: String,
+    /// Excluded components (e.g. FDR-production tooling) are listed for
+    /// completeness but priced at zero weight.
+    pub excluded: bool,
+}
+
+impl LineItem {
+    pub fn extended_price(&self) -> f64 {
+        if self.excluded {
+            0.0
+        } else {
+            self.unit_price_usd * self.quantity as f64 + self.maintenance_3yr_usd
+        }
+    }
+}
+
+/// A complete priced configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PriceSheet {
+    pub items: Vec<LineItem>,
+}
+
+impl PriceSheet {
+    /// Total cost of ownership: hardware + software + 3-year maintenance,
+    /// excluded items omitted.
+    pub fn total_cost(&self) -> f64 {
+        self.items.iter().map(|i| i.extended_price()).sum()
+    }
+
+    /// The system availability date: the latest availability date across
+    /// non-excluded line items (the whole configuration must be
+    /// purchasable).
+    pub fn availability_date(&self) -> Option<&str> {
+        self.items
+            .iter()
+            .filter(|i| !i.excluded)
+            .map(|i| i.available.as_str())
+            .max()
+    }
+
+    /// Applies a component substitution. TPC pricing permits replacing a
+    /// component with a functionally equivalent one only if the reported
+    /// performance and pricing quantities change by at most 2% — larger
+    /// deviations require a re-run/withdrawal.
+    pub fn substitute(
+        &mut self,
+        part_number: &str,
+        replacement: LineItem,
+    ) -> Result<(), String> {
+        let idx = self
+            .items
+            .iter()
+            .position(|i| i.part_number == part_number)
+            .ok_or_else(|| format!("no line item with part number {part_number}"))?;
+        let old_total = self.total_cost();
+        let old = self.items[idx].clone();
+        self.items[idx] = replacement;
+        let new_total = self.total_cost();
+        let delta = (new_total - old_total).abs() / old_total.max(1e-9);
+        if delta > 0.02 {
+            self.items[idx] = old;
+            return Err(format!(
+                "substitution changes total cost by {:.1}% (> 2%)",
+                delta * 100.0
+            ));
+        }
+        Ok(())
+    }
+
+    /// A representative priced configuration for an `n`-node gateway
+    /// cluster modelled on the paper's testbed (Cisco UCS B200 M4-class
+    /// blades, two SSDs each, ToR fabric interconnects, open-source
+    /// stack with a support subscription).
+    pub fn sample_cluster(nodes: u32) -> PriceSheet {
+        assert!(nodes >= 2, "TPCx-IoT publication requires >= 2 nodes");
+        let items = vec![
+            LineItem {
+                part_number: "UCSB-B200-M4".into(),
+                description: "Blade server, 2x 14-core 2.4 GHz, 256 GB RAM".into(),
+                unit_price_usd: 21_400.0,
+                quantity: nodes,
+                maintenance_3yr_usd: 2_800.0 * nodes as f64,
+                available: "2017-05-01".into(),
+                excluded: false,
+            },
+            LineItem {
+                part_number: "SSD-38TB-EV".into(),
+                description: "3.8 TB 2.5-inch Enterprise Value 6G SATA SSD".into(),
+                unit_price_usd: 3_950.0,
+                quantity: nodes * 2,
+                maintenance_3yr_usd: 0.0,
+                available: "2017-03-15".into(),
+                excluded: false,
+            },
+            LineItem {
+                part_number: "UCS-FI-6324".into(),
+                description: "Fabric interconnect, 10 Gbps per node".into(),
+                unit_price_usd: 14_200.0,
+                quantity: 2,
+                maintenance_3yr_usd: 1_900.0,
+                available: "2017-02-01".into(),
+                excluded: false,
+            },
+            LineItem {
+                part_number: "SW-NOSQL-SUB".into(),
+                description: "NoSQL data management subscription, 3 years".into(),
+                unit_price_usd: 6_000.0,
+                quantity: nodes,
+                maintenance_3yr_usd: 0.0,
+                available: "2017-05-20".into(),
+                excluded: false,
+            },
+            LineItem {
+                part_number: "RACK-KIT".into(),
+                description: "Rack, PDU, cabling".into(),
+                unit_price_usd: 4_100.0,
+                quantity: 1,
+                maintenance_3yr_usd: 0.0,
+                available: "2016-11-01".into(),
+                excluded: false,
+            },
+            LineItem {
+                part_number: "FDR-TOOLS".into(),
+                description: "Report-production workstation (excluded from pricing)".into(),
+                unit_price_usd: 2_500.0,
+                quantity: 1,
+                maintenance_3yr_usd: 0.0,
+                available: "2016-01-01".into(),
+                excluded: true,
+            },
+        ];
+        PriceSheet { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_include_maintenance_and_exclude_excluded() {
+        let sheet = PriceSheet::sample_cluster(2);
+        let manual: f64 = sheet
+            .items
+            .iter()
+            .filter(|i| !i.excluded)
+            .map(|i| i.unit_price_usd * i.quantity as f64 + i.maintenance_3yr_usd)
+            .sum();
+        assert_eq!(sheet.total_cost(), manual);
+        // The excluded FDR workstation contributes nothing.
+        let with_excluded: f64 = sheet
+            .items
+            .iter()
+            .map(|i| i.unit_price_usd * i.quantity as f64 + i.maintenance_3yr_usd)
+            .sum();
+        assert!(with_excluded > manual);
+    }
+
+    #[test]
+    fn bigger_clusters_cost_more() {
+        assert!(
+            PriceSheet::sample_cluster(8).total_cost() > PriceSheet::sample_cluster(4).total_cost()
+        );
+        assert!(
+            PriceSheet::sample_cluster(4).total_cost() > PriceSheet::sample_cluster(2).total_cost()
+        );
+    }
+
+    #[test]
+    fn availability_is_the_latest_component_date() {
+        let sheet = PriceSheet::sample_cluster(4);
+        // The software subscription (2017-05-20) is the gating component;
+        // the excluded item (older) must not matter.
+        assert_eq!(sheet.availability_date(), Some("2017-05-20"));
+    }
+
+    #[test]
+    fn small_substitution_allowed_large_rejected() {
+        let mut sheet = PriceSheet::sample_cluster(2);
+        let total = sheet.total_cost();
+        // A new SSD supplier at (almost) the same price: allowed.
+        let ok = LineItem {
+            part_number: "SSD-38TB-EV2".into(),
+            description: "3.8 TB SSD, new supplier".into(),
+            unit_price_usd: 3_990.0,
+            quantity: 4,
+            maintenance_3yr_usd: 0.0,
+            available: "2017-06-01".into(),
+            excluded: false,
+        };
+        sheet.substitute("SSD-38TB-EV", ok).unwrap();
+        assert!((sheet.total_cost() - total).abs() / total <= 0.02);
+
+        // A much pricier replacement: rejected, sheet unchanged.
+        let too_expensive = LineItem {
+            part_number: "SSD-GOLD".into(),
+            description: "premium SSD".into(),
+            unit_price_usd: 9_000.0,
+            quantity: 4,
+            maintenance_3yr_usd: 0.0,
+            available: "2017-06-01".into(),
+            excluded: false,
+        };
+        let before = sheet.total_cost();
+        let err = sheet.substitute("SSD-38TB-EV2", too_expensive).unwrap_err();
+        assert!(err.contains("> 2%"));
+        assert_eq!(sheet.total_cost(), before, "rolled back");
+    }
+
+    #[test]
+    fn unknown_part_rejected() {
+        let mut sheet = PriceSheet::sample_cluster(2);
+        let item = sheet.items[0].clone();
+        assert!(sheet.substitute("NOPE-123", item).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 nodes")]
+    fn single_node_cannot_be_priced() {
+        PriceSheet::sample_cluster(1);
+    }
+}

@@ -1,0 +1,267 @@
+//! The four dashboard query templates (spec §III-D).
+//!
+//! Every query compares one sensor's readings ingested in the **last
+//! 5 seconds** against a **randomly selected 5-second interval from the
+//! previous 1800 seconds**, aggregating with MAX, MIN, AVG, or COUNT.
+//! All templates project `(sensor value, timestamp)`, select on
+//! substation + sensor + time range, and aggregate — exactly the shape of
+//! the paper's Listing 1.
+
+use crate::backend::{BackendResult, GatewayBackend};
+use crate::keys::{decode_reading, sensor_time_range};
+use simkit::rng::Stream;
+
+/// The aggregate a query template computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    MaxReading,
+    MinReading,
+    AverageReading,
+    ReadingCount,
+}
+
+impl QueryKind {
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::MaxReading,
+        QueryKind::MinReading,
+        QueryKind::AverageReading,
+        QueryKind::ReadingCount,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::MaxReading => "max-reading",
+            QueryKind::MinReading => "min-reading",
+            QueryKind::AverageReading => "average-reading",
+            QueryKind::ReadingCount => "reading-count",
+        }
+    }
+}
+
+/// A fully instantiated query.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    pub kind: QueryKind,
+    pub substation: String,
+    pub sensor: String,
+    /// The "current" interval: `[now − 5 s, now)`.
+    pub current_from_ms: u64,
+    pub current_to_ms: u64,
+    /// The comparison interval: a random 5 s window within the previous
+    /// 1800 s.
+    pub past_from_ms: u64,
+    pub past_to_ms: u64,
+}
+
+/// The query window constants from the spec.
+pub const WINDOW_MS: u64 = 5_000;
+pub const HISTORY_MS: u64 = 1_800_000;
+
+impl QuerySpec {
+    /// Instantiates a random query for `substation` at time `now_ms`,
+    /// choosing the template, the sensor, and the historical window.
+    pub fn generate(
+        rng: &mut Stream,
+        substation: &str,
+        sensor_keys: &[String],
+        now_ms: u64,
+    ) -> QuerySpec {
+        let kind = QueryKind::ALL[rng.next_below(4) as usize];
+        let sensor = sensor_keys[rng.next_below(sensor_keys.len() as u64) as usize].clone();
+        let current_from = now_ms.saturating_sub(WINDOW_MS);
+        // Random 5 s window within the previous 1800 s. During warm-up the
+        // window may predate all data — the spec explicitly tolerates
+        // empty historical results.
+        let span = HISTORY_MS - WINDOW_MS;
+        let offset = rng.next_below(span.max(1));
+        let past_from = now_ms.saturating_sub(HISTORY_MS).saturating_add(offset);
+        QuerySpec {
+            kind,
+            substation: substation.to_string(),
+            sensor,
+            current_from_ms: current_from,
+            current_to_ms: now_ms,
+            past_from_ms: past_from,
+            past_to_ms: past_from + WINDOW_MS,
+        }
+    }
+}
+
+/// The aggregate of one interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalAggregate {
+    pub rows: u64,
+    pub value: Option<f64>,
+}
+
+/// The outcome of executing a query: both intervals' aggregates, ready
+/// for the dashboard comparison.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    pub spec: QuerySpec,
+    pub current: IntervalAggregate,
+    pub past: IntervalAggregate,
+    /// Total readings read to answer the query (Fig 12's metric counts
+    /// the readings aggregated per query).
+    pub rows_read: u64,
+}
+
+fn aggregate(kind: QueryKind, rows: &[(bytes::Bytes, bytes::Bytes)]) -> IntervalAggregate {
+    let mut count = 0u64;
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (k, v) in rows {
+        let Some(r) = decode_reading(k, v) else {
+            continue;
+        };
+        let Ok(value) = r.value.parse::<f64>() else {
+            continue;
+        };
+        count += 1;
+        sum += value;
+        min = min.min(value);
+        max = max.max(value);
+    }
+    let value = if count == 0 {
+        None
+    } else {
+        Some(match kind {
+            QueryKind::MaxReading => max,
+            QueryKind::MinReading => min,
+            QueryKind::AverageReading => sum / count as f64,
+            QueryKind::ReadingCount => count as f64,
+        })
+    };
+    IntervalAggregate { rows: count, value }
+}
+
+/// Executes `spec` against `backend`: two range scans + aggregation.
+pub fn execute(backend: &dyn GatewayBackend, spec: &QuerySpec) -> BackendResult<QueryOutcome> {
+    let (cur_start, cur_end) = sensor_time_range(
+        &spec.substation,
+        &spec.sensor,
+        spec.current_from_ms,
+        spec.current_to_ms,
+    );
+    let (past_start, past_end) = sensor_time_range(
+        &spec.substation,
+        &spec.sensor,
+        spec.past_from_ms,
+        spec.past_to_ms,
+    );
+    let current_rows = backend.scan(&cur_start, &cur_end, usize::MAX)?;
+    let past_rows = backend.scan(&past_start, &past_end, usize::MAX)?;
+    let rows_read = (current_rows.len() + past_rows.len()) as u64;
+    Ok(QueryOutcome {
+        current: aggregate(spec.kind, &current_rows),
+        past: aggregate(spec.kind, &past_rows),
+        rows_read,
+        spec: spec.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::keys::{encode_reading, SensorReading};
+
+    fn load_readings(b: &MemBackend, sensor: &str, from_ms: u64, count: u64, base_value: f64) {
+        for i in 0..count {
+            let r = SensorReading {
+                substation: "PSS-000000".into(),
+                sensor: sensor.into(),
+                timestamp_ms: from_ms + i * 100,
+                value: format!("{:.2}", base_value + i as f64),
+                unit: "volts".into(),
+            };
+            let (k, v) = encode_reading(&r);
+            b.insert(&k, &v).unwrap();
+        }
+    }
+
+    fn spec(kind: QueryKind, now: u64, past_from: u64) -> QuerySpec {
+        QuerySpec {
+            kind,
+            substation: "PSS-000000".into(),
+            sensor: "pmu-000".into(),
+            current_from_ms: now - WINDOW_MS,
+            current_to_ms: now,
+            past_from_ms: past_from,
+            past_to_ms: past_from + WINDOW_MS,
+        }
+    }
+
+    #[test]
+    fn aggregates_match_closed_form() {
+        let b = MemBackend::new();
+        let now = 2_000_000u64;
+        // Current window: 10 readings valued 100..109.
+        load_readings(&b, "pmu-000", now - 4000, 10, 100.0);
+        // Past window: 5 readings valued 50..54.
+        let past_from = now - 1_000_000;
+        load_readings(&b, "pmu-000", past_from + 1000, 5, 50.0);
+
+        let out = execute(&b, &spec(QueryKind::MaxReading, now, past_from)).unwrap();
+        assert_eq!(out.current.rows, 10);
+        assert_eq!(out.current.value, Some(109.0));
+        assert_eq!(out.past.rows, 5);
+        assert_eq!(out.past.value, Some(54.0));
+        assert_eq!(out.rows_read, 15);
+
+        let out = execute(&b, &spec(QueryKind::MinReading, now, past_from)).unwrap();
+        assert_eq!(out.current.value, Some(100.0));
+        assert_eq!(out.past.value, Some(50.0));
+
+        let out = execute(&b, &spec(QueryKind::AverageReading, now, past_from)).unwrap();
+        assert_eq!(out.current.value, Some(104.5));
+        assert_eq!(out.past.value, Some(52.0));
+
+        let out = execute(&b, &spec(QueryKind::ReadingCount, now, past_from)).unwrap();
+        assert_eq!(out.current.value, Some(10.0));
+        assert_eq!(out.past.value, Some(5.0));
+    }
+
+    #[test]
+    fn empty_past_interval_is_tolerated() {
+        // Warm-up semantics: no data in the random historical window.
+        let b = MemBackend::new();
+        let now = 2_000_000u64;
+        load_readings(&b, "pmu-000", now - 4000, 3, 10.0);
+        let out = execute(&b, &spec(QueryKind::AverageReading, now, 100)).unwrap();
+        assert_eq!(out.past.rows, 0);
+        assert_eq!(out.past.value, None);
+        assert_eq!(out.current.rows, 3);
+    }
+
+    #[test]
+    fn scans_do_not_leak_other_sensors() {
+        let b = MemBackend::new();
+        let now = 2_000_000u64;
+        load_readings(&b, "pmu-000", now - 4000, 3, 10.0);
+        load_readings(&b, "pmu-0001", now - 4000, 7, 99.0); // prefix sibling
+        let out = execute(&b, &spec(QueryKind::ReadingCount, now, 100)).unwrap();
+        assert_eq!(out.current.rows, 3, "pmu-0001 must not match pmu-000");
+    }
+
+    #[test]
+    fn generate_respects_the_windows() {
+        let mut rng = Stream::new(5);
+        let sensors: Vec<String> = (0..200).map(|i| format!("s-{i:03}")).collect();
+        let now = 10_000_000u64;
+        for _ in 0..500 {
+            let q = QuerySpec::generate(&mut rng, "PSS-000001", &sensors, now);
+            assert_eq!(q.current_to_ms - q.current_from_ms, WINDOW_MS);
+            assert_eq!(q.past_to_ms - q.past_from_ms, WINDOW_MS);
+            assert!(q.past_from_ms >= now - HISTORY_MS);
+            assert!(q.past_to_ms <= now, "past window inside the previous 1800s");
+            assert!(sensors.contains(&q.sensor));
+        }
+        // All four templates appear.
+        let kinds: std::collections::HashSet<_> = (0..100)
+            .map(|_| QuerySpec::generate(&mut rng, "P", &sensors, now).kind)
+            .collect();
+        assert_eq!(kinds.len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Result disclosure: the executive summary and the full disclosure
+//! report (FDR) required of every published result (spec §IV-C).
+
+use crate::pricing::PriceSheet;
+use crate::runner::{BenchmarkConfig, BenchmarkOutcome};
+use std::fmt::Write;
+
+/// The executive summary: the three primary metrics plus headline
+/// configuration facts on one page.
+pub fn executive_summary(
+    outcome: &BenchmarkOutcome,
+    config: &BenchmarkConfig,
+    sheet: &PriceSheet,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==================================================");
+    let _ = writeln!(out, " TPCx-IoT Executive Summary");
+    let _ = writeln!(out, "==================================================");
+    let _ = writeln!(out, "System under test : {}", outcome.sut_description);
+    let _ = writeln!(out, "Driver instances  : {}", config.substations);
+    let _ = writeln!(out, "Total kvps/run    : {}", config.total_kvps);
+    match &outcome.metrics {
+        Some(m) => {
+            let _ = writeln!(out, "Performance       : {:.1} IoTps", m.iotps);
+            let _ = writeln!(out, "Price-performance : {:.4} $/IoTps", m.price_per_iotps);
+            let _ = writeln!(out, "Availability date : {}", m.availability_date);
+        }
+        None => {
+            let _ = writeln!(out, "Performance       : RUN ABORTED");
+        }
+    }
+    let _ = writeln!(out, "Total 3-yr cost   : ${:.2}", sheet.total_cost());
+    let _ = writeln!(
+        out,
+        "Publishable       : {}",
+        if outcome.publishable() { "YES" } else { "NO" }
+    );
+    out
+}
+
+/// The FDR: checks, per-iteration measurements, rule verdicts, priced
+/// configuration, and all tunables changed from defaults.
+pub fn full_disclosure_report(
+    outcome: &BenchmarkOutcome,
+    config: &BenchmarkConfig,
+    sheet: &PriceSheet,
+    tunables: &[(String, String)],
+) -> String {
+    let mut out = executive_summary(outcome, config, sheet);
+    let _ = writeln!(out, "\n--- Prerequisite checks ---");
+    for c in &outcome.prerequisite_checks {
+        let _ = writeln!(
+            out,
+            "[{}] {}: {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+    for (i, it) in outcome.iterations.iter().enumerate() {
+        let _ = writeln!(out, "\n--- Iteration {} ---", i + 1);
+        for (label, exec) in [("warm-up", &it.warmup), ("measured", &it.measured)] {
+            let _ = writeln!(
+                out,
+                "{label}: {:.2}s elapsed, {} kvps, {} queries, {:.0} avg rows/query, \
+                 query latency avg {:.2}ms p95 {:.2}ms max {:.2}ms",
+                exec.elapsed_secs,
+                exec.ingested,
+                exec.queries,
+                exec.avg_rows_per_query,
+                exec.query_latency.mean / 1e6,
+                exec.query_latency.p95 as f64 / 1e6,
+                exec.query_latency.max as f64 / 1e6,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "[{}] {}: {}",
+            if it.data_check.passed { "PASS" } else { "FAIL" },
+            it.data_check.name,
+            it.data_check.detail
+        );
+        let _ = writeln!(out, "{}", it.rule_report.summary());
+    }
+    let _ = writeln!(out, "\n--- Priced configuration ---");
+    for item in &sheet.items {
+        let _ = writeln!(
+            out,
+            "{:<14} x{:<3} ${:>10.2}  maint ${:>9.2}  avail {}  {}{}",
+            item.part_number,
+            item.quantity,
+            item.unit_price_usd,
+            item.maintenance_3yr_usd,
+            item.available,
+            item.description,
+            if item.excluded { "  [EXCLUDED]" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "\n--- Tunables changed from defaults ---");
+    if tunables.is_empty() {
+        let _ = writeln!(out, "(none)");
+    }
+    for (key, value) in tunables {
+        let _ = writeln!(out, "{key} = {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::runner::{BenchmarkRunner, SystemUnderTest};
+    use crate::rules::Rules;
+    use std::sync::Arc;
+
+    struct MemSut(Arc<MemBackend>);
+    impl SystemUnderTest for MemSut {
+        fn backend(&self) -> Arc<dyn crate::backend::GatewayBackend> {
+            Arc::clone(&self.0) as _
+        }
+        fn cleanup(&mut self) -> Result<(), String> {
+            self.0 = Arc::new(MemBackend::new());
+            Ok(())
+        }
+        fn describe(&self) -> String {
+            "mem SUT".into()
+        }
+    }
+
+    fn run() -> (BenchmarkOutcome, BenchmarkConfig, PriceSheet) {
+        let mut config = crate::runner::BenchmarkConfig::new(1, 4_000);
+        config.threads_per_driver = 2;
+        config.rules = Rules {
+            min_elapsed_secs: 0.0,
+            min_per_sensor_rate: 0.0,
+            min_rows_per_query: 0.0,
+        };
+        let sheet = PriceSheet::sample_cluster(2);
+        let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+        let outcome = runner.run(&mut MemSut(Arc::new(MemBackend::new())));
+        (outcome, config, sheet)
+    }
+
+    #[test]
+    fn executive_summary_has_all_three_metrics() {
+        let (outcome, config, sheet) = run();
+        let es = executive_summary(&outcome, &config, &sheet);
+        assert!(es.contains("IoTps"));
+        assert!(es.contains("$/IoTps"));
+        assert!(es.contains("Availability date"));
+        assert!(es.contains("Publishable       : YES"));
+    }
+
+    #[test]
+    fn fdr_discloses_everything() {
+        let (outcome, config, sheet) = run();
+        let fdr = full_disclosure_report(
+            &outcome,
+            &config,
+            &sheet,
+            &[("hbase.client.write.buffer".into(), "8GB".into())],
+        );
+        assert!(fdr.contains("Iteration 1"));
+        assert!(fdr.contains("Iteration 2"));
+        assert!(fdr.contains("data replication check"));
+        assert!(fdr.contains("UCSB-B200-M4"));
+        assert!(fdr.contains("[EXCLUDED]"));
+        assert!(fdr.contains("hbase.client.write.buffer = 8GB"));
+        assert!(fdr.contains("warm-up"));
+        assert!(fdr.contains("measured"));
+    }
+
+    #[test]
+    fn empty_tunables_disclosed_as_none() {
+        let (outcome, config, sheet) = run();
+        let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+        assert!(fdr.contains("(none)"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Execution-rule validation (spec §III-B).
+//!
+//! A publishable benchmark run must satisfy:
+//!
+//! 1. every workload execution (warm-up *and* measured) ran ≥ 1800 s,
+//! 2. the average per-sensor ingest rate was ≥ 20 kvps/s (⇒ ≥ 4000
+//!    kvps/s per substation, ⇒ a query reads ≥ 100 kvps on average),
+//! 3. queries aggregated ≥ 200 readings on average (Fig 12's floor).
+//!
+//! [`Rules::scaled`] shrinks the floors proportionally so laptop-scale
+//! runs of the real cluster can be validated by the same machinery the
+//! full-scale simulated runs use.
+
+/// The rule thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rules {
+    /// Minimum elapsed seconds per workload execution.
+    pub min_elapsed_secs: f64,
+    /// Minimum average per-sensor ingest rate (kvps/s).
+    pub min_per_sensor_rate: f64,
+    /// Minimum average readings aggregated per query.
+    pub min_rows_per_query: f64,
+}
+
+impl Default for Rules {
+    fn default() -> Self {
+        Rules::SPEC
+    }
+}
+
+impl Rules {
+    /// The official TPCx-IoT thresholds.
+    pub const SPEC: Rules = Rules {
+        min_elapsed_secs: 1800.0,
+        min_per_sensor_rate: 20.0,
+        min_rows_per_query: 200.0,
+    };
+
+    /// Thresholds scaled by `factor` in `(0, 1]` — the run-duration floor
+    /// shrinks while the rate floors are preserved (rates are
+    /// scale-independent); useful for laptop-scale validation runs.
+    pub fn scaled(duration_factor: f64) -> Rules {
+        assert!(duration_factor > 0.0 && duration_factor <= 1.0);
+        Rules {
+            min_elapsed_secs: Rules::SPEC.min_elapsed_secs * duration_factor,
+            ..Rules::SPEC
+        }
+    }
+}
+
+/// The facts of one executed workload run that the rules judge.
+#[derive(Clone, Copy, Debug)]
+pub struct RunFacts {
+    pub elapsed_secs: f64,
+    pub ingested_kvps: u64,
+    pub substations: usize,
+    pub sensors_per_substation: u64,
+    pub avg_rows_per_query: f64,
+}
+
+impl RunFacts {
+    pub fn per_sensor_rate(&self) -> f64 {
+        let sensors = self.substations as f64 * self.sensors_per_substation as f64;
+        self.ingested_kvps as f64 / self.elapsed_secs.max(1e-9) / sensors
+    }
+}
+
+/// A single rule verdict.
+#[derive(Clone, Debug)]
+pub struct RuleVerdict {
+    pub rule: &'static str,
+    pub passed: bool,
+    pub detail: String,
+}
+
+/// The full validation report for one run.
+#[derive(Clone, Debug)]
+pub struct RuleReport {
+    pub verdicts: Vec<RuleVerdict>,
+}
+
+impl RuleReport {
+    pub fn valid(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed)
+    }
+
+    pub fn summary(&self) -> String {
+        self.verdicts
+            .iter()
+            .map(|v| {
+                format!(
+                    "[{}] {}: {}",
+                    if v.passed { "PASS" } else { "FAIL" },
+                    v.rule,
+                    v.detail
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Validates one run's facts against the rules.
+pub fn validate(rules: &Rules, facts: &RunFacts) -> RuleReport {
+    let mut verdicts = Vec::new();
+
+    verdicts.push(RuleVerdict {
+        rule: "workload execution elapsed time",
+        passed: facts.elapsed_secs >= rules.min_elapsed_secs,
+        detail: format!(
+            "elapsed {:.1}s vs required {:.1}s",
+            facts.elapsed_secs, rules.min_elapsed_secs
+        ),
+    });
+
+    let rate = facts.per_sensor_rate();
+    verdicts.push(RuleVerdict {
+        rule: "sensor data ingest rate",
+        passed: rate >= rules.min_per_sensor_rate,
+        detail: format!(
+            "{:.1} kvps/s per sensor vs required {:.1}",
+            rate, rules.min_per_sensor_rate
+        ),
+    });
+
+    verdicts.push(RuleVerdict {
+        rule: "readings aggregated per query",
+        passed: facts.avg_rows_per_query >= rules.min_rows_per_query,
+        detail: format!(
+            "{:.0} avg readings/query vs required {:.0}",
+            facts.avg_rows_per_query, rules.min_rows_per_query
+        ),
+    });
+
+    RuleReport { verdicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts() -> RunFacts {
+        // 2 substations for 1850s at 30 kvps/s/sensor.
+        RunFacts {
+            elapsed_secs: 1850.0,
+            ingested_kvps: (30.0 * 400.0 * 1850.0) as u64,
+            substations: 2,
+            sensors_per_substation: 200,
+            avg_rows_per_query: 250.0,
+        }
+    }
+
+    #[test]
+    fn compliant_run_passes() {
+        let report = validate(&Rules::SPEC, &facts());
+        assert!(report.valid(), "{}", report.summary());
+        assert_eq!(report.verdicts.len(), 3);
+    }
+
+    #[test]
+    fn short_run_fails_elapsed_rule() {
+        let mut f = facts();
+        f.elapsed_secs = 1700.0;
+        let report = validate(&Rules::SPEC, &f);
+        assert!(!report.valid());
+        assert!(!report.verdicts[0].passed);
+        assert!(report.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn slow_per_sensor_rate_fails() {
+        let mut f = facts();
+        // 19 kvps/s per sensor — the paper's invalid 48-substation case.
+        f.ingested_kvps = (19.0 * 400.0 * f.elapsed_secs) as u64;
+        let report = validate(&Rules::SPEC, &f);
+        assert!(!report.verdicts[1].passed);
+        assert!((f.per_sensor_rate() - 19.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn thin_queries_fail() {
+        let mut f = facts();
+        f.avg_rows_per_query = 150.0;
+        let report = validate(&Rules::SPEC, &f);
+        assert!(!report.verdicts[2].passed);
+    }
+
+    #[test]
+    fn scaled_rules_relax_duration_only() {
+        let r = Rules::scaled(0.01);
+        assert_eq!(r.min_elapsed_secs, 18.0);
+        assert_eq!(r.min_per_sensor_rate, Rules::SPEC.min_per_sensor_rate);
+        assert_eq!(r.min_rows_per_query, Rules::SPEC.min_rows_per_query);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        Rules::scaled(0.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! The benchmark driver (spec Fig 6 / Fig 9): prerequisite checks, two
+//! iterations of warm-up + measured workload executions with data checks,
+//! system cleanup between iterations, and metric derivation.
+
+use crate::backend::GatewayBackend;
+use crate::checks::{data_check, file_check, replication_check, CheckResult, KitManifest};
+use crate::driver::{run_driver, DriverConfig, DriverReport};
+use crate::metrics::{BenchmarkMetrics, MeasuredRun};
+use crate::pricing::PriceSheet;
+use crate::rules::{validate, RuleReport, Rules, RunFacts};
+use crate::sensors::SENSORS_PER_SUBSTATION;
+use simkit::rng::derive_seed;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use ycsb::measurement::{Measurements, OpKind};
+
+/// Everything the benchmark driver needs of the system under test.
+pub trait SystemUnderTest: Send {
+    /// The data-plane handle driver instances write to and query.
+    fn backend(&self) -> Arc<dyn GatewayBackend>;
+    /// TPCx-IoT *system cleanup*: purge all ingested data, delete
+    /// temporary files, restart the data management system.
+    fn cleanup(&mut self) -> Result<(), String>;
+    /// A short description for reports (nodes, storage, software).
+    fn describe(&self) -> String;
+}
+
+/// Benchmark invocation parameters — the two arguments of the real kit
+/// (driver instance count and total kvps) plus knobs this reproduction
+/// exposes.
+#[derive(Clone, Debug)]
+pub struct BenchmarkConfig {
+    /// Number of simulated power substations / driver instances.
+    pub substations: usize,
+    /// Total kvps ingested per workload execution (default 1 billion in
+    /// the kit; scale down for laptop runs).
+    pub total_kvps: u64,
+    /// Threads per driver instance.
+    pub threads_per_driver: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Rule thresholds to validate against.
+    pub rules: Rules,
+    /// Optional kit-file check: `(kit root, reference manifest)`.
+    pub kit: Option<(PathBuf, KitManifest)>,
+    /// Replication the SUT must provide (spec: 3).
+    pub required_replication: usize,
+}
+
+impl BenchmarkConfig {
+    pub fn new(substations: usize, total_kvps: u64) -> BenchmarkConfig {
+        BenchmarkConfig {
+            substations,
+            total_kvps,
+            threads_per_driver: 10,
+            seed: 0x10_7057,
+            rules: Rules::SPEC,
+            kit: None,
+            required_replication: 3,
+        }
+    }
+
+    /// Per the spec's equation (3): instance `i` ingests `⌊K/P⌋` kvps,
+    /// the last instance also takes `K mod P`.
+    pub fn kvps_for_instance(&self, i: usize) -> u64 {
+        let per = self.total_kvps / self.substations as u64;
+        if i + 1 == self.substations {
+            per + self.total_kvps % self.substations as u64
+        } else {
+            per
+        }
+    }
+}
+
+/// Metrics of one workload execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionOutcome {
+    pub elapsed_secs: f64,
+    pub ingested: u64,
+    pub insert_failures: u64,
+    pub queries: u64,
+    pub avg_rows_per_query: f64,
+    /// Per-substation ingest completion seconds.
+    pub driver_secs: Vec<f64>,
+    /// Query latency summary (nanoseconds, from the shared sink).
+    pub query_latency: simkit::stats::Summary,
+}
+
+/// One benchmark iteration: warm-up + measured + data check.
+#[derive(Clone, Debug)]
+pub struct IterationOutcome {
+    pub warmup: ExecutionOutcome,
+    pub measured: ExecutionOutcome,
+    pub data_check: CheckResult,
+    pub rule_report: RuleReport,
+}
+
+/// The full benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct BenchmarkOutcome {
+    pub prerequisite_checks: Vec<CheckResult>,
+    pub iterations: Vec<IterationOutcome>,
+    /// None when a prerequisite check aborted the run.
+    pub metrics: Option<BenchmarkMetrics>,
+    pub sut_description: String,
+}
+
+impl BenchmarkOutcome {
+    /// A result is publishable when every check and rule passed.
+    pub fn publishable(&self) -> bool {
+        self.prerequisite_checks.iter().all(|c| c.passed)
+            && self.iterations.len() == 2
+            && self
+                .iterations
+                .iter()
+                .all(|it| it.data_check.passed && it.rule_report.valid())
+    }
+}
+
+/// The benchmark driver.
+pub struct BenchmarkRunner {
+    pub config: BenchmarkConfig,
+    /// Priced configuration used for `$/IoTps`.
+    pub price_sheet: PriceSheet,
+}
+
+impl BenchmarkRunner {
+    pub fn new(config: BenchmarkConfig, price_sheet: PriceSheet) -> BenchmarkRunner {
+        BenchmarkRunner {
+            config,
+            price_sheet,
+        }
+    }
+
+    /// Runs one workload execution: all driver instances concurrently, to
+    /// completion. `epoch_ms` is the virtual acquisition epoch — warm-up
+    /// and measured executions run back-to-back in real deployments, so
+    /// each execution gets a later epoch and fresh keys.
+    fn run_execution(
+        &self,
+        sut: &dyn SystemUnderTest,
+        seed: u64,
+        epoch_ms: u64,
+    ) -> ExecutionOutcome {
+        let backend = sut.backend();
+        let measurements = Arc::new(Measurements::new());
+        let started = Instant::now();
+        let reports: Vec<DriverReport> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..self.config.substations {
+                let backend = Arc::clone(&backend);
+                let measurements = Arc::clone(&measurements);
+                let mut dc = DriverConfig::new(i, self.config.kvps_for_instance(i));
+                dc.threads = self.config.threads_per_driver;
+                dc.seed = derive_seed(seed, i as u64);
+                dc.epoch_ms = epoch_ms;
+                handles.push(scope.spawn(move || run_driver(&dc, backend, measurements)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver instance panicked"))
+                .collect()
+        });
+        let elapsed_secs = started.elapsed().as_secs_f64();
+
+        let ingested: u64 = reports.iter().map(|r| r.ingested).sum();
+        let queries: u64 = reports.iter().map(|r| r.queries_executed).sum();
+        let rows_sum: f64 = reports
+            .iter()
+            .map(|r| r.rows_per_query.mean() * r.rows_per_query.count() as f64)
+            .sum();
+        ExecutionOutcome {
+            elapsed_secs,
+            ingested,
+            insert_failures: reports.iter().map(|r| r.insert_failures).sum(),
+            queries,
+            avg_rows_per_query: if queries == 0 {
+                0.0
+            } else {
+                rows_sum / queries as f64
+            },
+            driver_secs: reports.iter().map(|r| r.elapsed_secs).collect(),
+            query_latency: measurements.summary(OpKind::Scan),
+        }
+    }
+
+    /// Runs the complete benchmark against `sut` (Fig 6's flow).
+    pub fn run(&self, sut: &mut dyn SystemUnderTest) -> BenchmarkOutcome {
+        let mut prerequisite_checks = Vec::new();
+        if let Some((root, manifest)) = &self.config.kit {
+            prerequisite_checks.push(file_check(root, manifest));
+        }
+        prerequisite_checks.push(replication_check(
+            sut.backend().as_ref(),
+            self.config.required_replication,
+        ));
+        if prerequisite_checks.iter().any(|c| !c.passed) {
+            // Fig 6: a failed prerequisite aborts the run.
+            return BenchmarkOutcome {
+                prerequisite_checks,
+                iterations: Vec::new(),
+                metrics: None,
+                sut_description: sut.describe(),
+            };
+        }
+
+        let mut iterations = Vec::new();
+        for iteration in 0..2u64 {
+            let warm_seed = derive_seed(self.config.seed, iteration * 2);
+            let meas_seed = derive_seed(self.config.seed, iteration * 2 + 1);
+            // One virtual hour between executions keeps their key ranges
+            // disjoint, as wall-clock time does in a real run.
+            let base_epoch = 1_700_000_000_000u64 + iteration * 7_200_000;
+            let warmup = self.run_execution(sut, warm_seed, base_epoch);
+            let measured = self.run_execution(sut, meas_seed, base_epoch + 3_600_000);
+            // Data check: warm-up and measured each ingested the full
+            // workload into the (un-purged) store.
+            let expected = 2 * self.config.total_kvps;
+            let check = data_check(sut.backend().as_ref(), expected);
+            let rule_report = validate(
+                &self.config.rules,
+                &RunFacts {
+                    elapsed_secs: measured.elapsed_secs.min(warmup.elapsed_secs),
+                    ingested_kvps: measured.ingested,
+                    substations: self.config.substations,
+                    sensors_per_substation: SENSORS_PER_SUBSTATION as u64,
+                    avg_rows_per_query: measured.avg_rows_per_query,
+                },
+            );
+            iterations.push(IterationOutcome {
+                warmup,
+                measured,
+                data_check: check,
+                rule_report,
+            });
+            // System cleanup between iterations (and after the last, so
+            // the SUT is left pristine).
+            if let Err(e) = sut.cleanup() {
+                iterations.last_mut().expect("just pushed").data_check = CheckResult {
+                    name: "data check",
+                    passed: false,
+                    detail: format!("system cleanup failed: {e}"),
+                };
+                break;
+            }
+        }
+
+        let metrics = if iterations.len() == 2 {
+            Some(BenchmarkMetrics::derive(
+                MeasuredRun {
+                    ingested: iterations[0].measured.ingested,
+                    elapsed_secs: iterations[0].measured.elapsed_secs,
+                },
+                MeasuredRun {
+                    ingested: iterations[1].measured.ingested,
+                    elapsed_secs: iterations[1].measured.elapsed_secs,
+                },
+                self.price_sheet.total_cost(),
+                self.price_sheet.availability_date().unwrap_or("n/a"),
+            ))
+        } else {
+            None
+        };
+
+        BenchmarkOutcome {
+            prerequisite_checks,
+            iterations,
+            metrics,
+            sut_description: sut.describe(),
+        }
+    }
+}
+
+/// A [`SystemUnderTest`] over the in-process gateway cluster.
+pub struct GatewaySut {
+    cluster: Arc<parking_lot::RwLock<gateway::Cluster>>,
+}
+
+impl GatewaySut {
+    pub fn new(cluster: gateway::Cluster) -> GatewaySut {
+        GatewaySut {
+            cluster: Arc::new(parking_lot::RwLock::new(cluster)),
+        }
+    }
+}
+
+/// The data-plane view of the locked cluster.
+struct GatewaySutBackend {
+    cluster: Arc<parking_lot::RwLock<gateway::Cluster>>,
+}
+
+impl GatewayBackend for GatewaySutBackend {
+    fn insert(&self, key: &[u8], value: &[u8]) -> crate::backend::BackendResult<()> {
+        self.cluster
+            .read()
+            .put(key, value)
+            .map_err(|e| crate::backend::BackendError(e.to_string()))
+    }
+
+    fn scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> crate::backend::BackendResult<Vec<(bytes::Bytes, bytes::Bytes)>> {
+        self.cluster
+            .read()
+            .scan(start, end, limit)
+            .map_err(|e| crate::backend::BackendError(e.to_string()))
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.cluster.read().effective_replication()
+    }
+
+    fn ingested_count(&self) -> u64 {
+        self.cluster.read().stats().puts
+    }
+}
+
+impl SystemUnderTest for GatewaySut {
+    fn backend(&self) -> Arc<dyn GatewayBackend> {
+        Arc::new(GatewaySutBackend {
+            cluster: Arc::clone(&self.cluster),
+        })
+    }
+
+    fn cleanup(&mut self) -> Result<(), String> {
+        self.cluster.write().purge().map_err(|e| e.to_string())
+    }
+
+    fn describe(&self) -> String {
+        let c = self.cluster.read();
+        format!(
+            "in-process gateway cluster: {} nodes, {}-way replication, iotkv storage",
+            c.node_count(),
+            c.effective_replication()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    /// A trivial SUT over the in-memory backend.
+    struct MemSut {
+        backend: Arc<MemBackend>,
+        cleanups: u32,
+    }
+
+    impl SystemUnderTest for MemSut {
+        fn backend(&self) -> Arc<dyn GatewayBackend> {
+            Arc::clone(&self.backend) as Arc<dyn GatewayBackend>
+        }
+        fn cleanup(&mut self) -> Result<(), String> {
+            self.backend = Arc::new(MemBackend::new());
+            self.cleanups += 1;
+            Ok(())
+        }
+        fn describe(&self) -> String {
+            "in-memory test SUT".into()
+        }
+    }
+
+    fn config() -> BenchmarkConfig {
+        let mut c = BenchmarkConfig::new(2, 30_000);
+        c.threads_per_driver = 3;
+        // Laptop-scale floors: rates can't hit spec numbers in a unit test.
+        c.rules = Rules {
+            min_elapsed_secs: 0.0,
+            min_per_sensor_rate: 0.0,
+            min_rows_per_query: 0.0,
+        };
+        c
+    }
+
+    #[test]
+    fn kvp_split_follows_equation_3() {
+        let c = BenchmarkConfig::new(3, 100_001);
+        assert_eq!(c.kvps_for_instance(0), 33_333);
+        assert_eq!(c.kvps_for_instance(1), 33_333);
+        assert_eq!(c.kvps_for_instance(2), 33_335);
+        let total: u64 = (0..3).map(|i| c.kvps_for_instance(i)).sum();
+        assert_eq!(total, 100_001);
+    }
+
+    #[test]
+    fn full_benchmark_flow() {
+        let runner = BenchmarkRunner::new(config(), PriceSheet::sample_cluster(2));
+        let mut sut = MemSut {
+            backend: Arc::new(MemBackend::new()),
+            cleanups: 0,
+        };
+        let outcome = runner.run(&mut sut);
+        assert_eq!(outcome.iterations.len(), 2);
+        assert_eq!(sut.cleanups, 2, "cleanup between and after iterations");
+        for it in &outcome.iterations {
+            assert_eq!(it.measured.ingested, 30_000);
+            assert_eq!(it.warmup.ingested, 30_000);
+            assert!(it.data_check.passed, "{}", it.data_check.detail);
+            assert!(it.rule_report.valid());
+            assert!(it.measured.queries > 0);
+            assert!(it.measured.avg_rows_per_query > 0.0);
+        }
+        let metrics = outcome.metrics.as_ref().expect("metrics derived");
+        assert!(metrics.iotps > 0.0);
+        assert!(metrics.price_per_iotps > 0.0);
+        assert!(outcome.publishable());
+    }
+
+    #[test]
+    fn failed_replication_check_aborts() {
+        struct WeakSut(Arc<MemBackend>);
+        struct WeakBackend(Arc<MemBackend>);
+        impl GatewayBackend for WeakBackend {
+            fn insert(&self, k: &[u8], v: &[u8]) -> crate::backend::BackendResult<()> {
+                self.0.insert(k, v)
+            }
+            fn scan(
+                &self,
+                s: &[u8],
+                e: &[u8],
+                l: usize,
+            ) -> crate::backend::BackendResult<Vec<(bytes::Bytes, bytes::Bytes)>> {
+                self.0.scan(s, e, l)
+            }
+            fn replication_factor(&self) -> usize {
+                1 // no replication: must fail the prerequisite
+            }
+            fn ingested_count(&self) -> u64 {
+                self.0.ingested_count()
+            }
+        }
+        impl SystemUnderTest for WeakSut {
+            fn backend(&self) -> Arc<dyn GatewayBackend> {
+                Arc::new(WeakBackend(Arc::clone(&self.0)))
+            }
+            fn cleanup(&mut self) -> Result<(), String> {
+                Ok(())
+            }
+            fn describe(&self) -> String {
+                "unreplicated SUT".into()
+            }
+        }
+
+        let runner = BenchmarkRunner::new(config(), PriceSheet::sample_cluster(2));
+        let mut sut = WeakSut(Arc::new(MemBackend::new()));
+        let outcome = runner.run(&mut sut);
+        assert!(outcome.iterations.is_empty(), "run aborted");
+        assert!(outcome.metrics.is_none());
+        assert!(!outcome.publishable());
+    }
+
+    #[test]
+    fn spec_rules_fail_a_laptop_run() {
+        let mut c = config();
+        c.rules = Rules::SPEC; // 1800s floor cannot hold in a unit test
+        let runner = BenchmarkRunner::new(c, PriceSheet::sample_cluster(2));
+        let mut sut = MemSut {
+            backend: Arc::new(MemBackend::new()),
+            cleanups: 0,
+        };
+        let outcome = runner.run(&mut sut);
+        assert!(!outcome.publishable());
+        assert!(!outcome.iterations[0].rule_report.valid());
+    }
+}

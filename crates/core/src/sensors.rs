@@ -1,0 +1,146 @@
+//! The sensor catalogue: 200 sensor types per power substation.
+//!
+//! The paper (§III-A, Fig 3) names the sensor families found in power
+//! substations — load-tap-changer gassing sensors, metal-insulator-
+//! semiconductor (MIS) gas sensors measuring H₂ and C₂H₂, phasor
+//! measurement units (PMUs), and leakage-current sensors — and fixes the
+//! per-substation sensor count at 200. The catalogue below instantiates
+//! 200 concrete sensors across those families (plus the auxiliary
+//! temperature/humidity/pressure sensors any substation carries), each
+//! with a unit and a plausible value range.
+
+use simkit::rng::Stream;
+
+/// One sensor type in the catalogue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorSpec {
+    /// Stable sensor key within a substation, e.g. `pmu-012`.
+    pub key: String,
+    /// Sensor family (for documentation/reporting).
+    pub family: &'static str,
+    /// Measurement unit (4–34 chars per the kvp schema).
+    pub unit: &'static str,
+    /// Plausible value range.
+    pub min: f64,
+    pub max: f64,
+    /// Decimal places when rendering.
+    pub decimals: usize,
+}
+
+impl SensorSpec {
+    /// Draws a reading value rendered to the spec's 1–20 chars.
+    pub fn draw_value(&self, rng: &mut Stream) -> String {
+        let v = self.min + (self.max - self.min) * rng.next_f64();
+        format!("{:.*}", self.decimals, v)
+    }
+}
+
+/// The family blueprint used to expand the catalogue.
+struct Family {
+    name: &'static str,
+    prefix: &'static str,
+    unit: &'static str,
+    min: f64,
+    max: f64,
+    decimals: usize,
+    count: usize,
+}
+
+const FAMILIES: &[Family] = &[
+    // Fig 3's four examples:
+    Family { name: "LTC gassing", prefix: "ltc-gas", unit: "ppm hydrogen", min: 0.0, max: 2000.0, decimals: 1, count: 24 },
+    Family { name: "MIS gas (H2)", prefix: "mis-h2", unit: "ppm hydrogen", min: 0.0, max: 5000.0, decimals: 1, count: 20 },
+    Family { name: "MIS gas (C2H2)", prefix: "mis-c2h2", unit: "ppm acetylene", min: 0.0, max: 500.0, decimals: 2, count: 20 },
+    Family { name: "PMU phase angle", prefix: "pmu-angle", unit: "degrees phase", min: -180.0, max: 180.0, decimals: 3, count: 30 },
+    Family { name: "PMU magnitude", prefix: "pmu-mag", unit: "kilovolts RMS", min: 0.0, max: 765.0, decimals: 2, count: 30 },
+    Family { name: "PMU frequency", prefix: "pmu-freq", unit: "hertz", min: 59.5, max: 60.5, decimals: 4, count: 12 },
+    Family { name: "Leakage current", prefix: "leak", unit: "milliamps to earth", min: 0.0, max: 50.0, decimals: 3, count: 24 },
+    // Auxiliary substation instrumentation:
+    Family { name: "Transformer oil temp", prefix: "oil-temp", unit: "degrees Celsius", min: -20.0, max: 140.0, decimals: 1, count: 16 },
+    Family { name: "Winding temp", prefix: "wind-temp", unit: "degrees Celsius", min: -20.0, max: 180.0, decimals: 1, count: 8 },
+    Family { name: "Ambient humidity", prefix: "humid", unit: "percent RH", min: 0.0, max: 100.0, decimals: 1, count: 4 },
+    Family { name: "Busbar load", prefix: "load", unit: "amps", min: 0.0, max: 4000.0, decimals: 1, count: 8 },
+    Family { name: "SF6 density", prefix: "sf6", unit: "kilopascal", min: 300.0, max: 800.0, decimals: 1, count: 4 },
+];
+
+/// Builds the 200-sensor catalogue of one substation.
+pub fn catalogue() -> Vec<SensorSpec> {
+    let mut out = Vec::with_capacity(200);
+    for family in FAMILIES {
+        for i in 0..family.count {
+            out.push(SensorSpec {
+                key: format!("{}-{:03}", family.prefix, i),
+                family: family.name,
+                unit: family.unit,
+                min: family.min,
+                max: family.max,
+                decimals: family.decimals,
+            });
+        }
+    }
+    debug_assert_eq!(out.len(), 200);
+    out
+}
+
+/// The spec-mandated sensor count per substation.
+pub const SENSORS_PER_SUBSTATION: usize = 200;
+
+/// Builds a substation key, e.g. `PSS-000007`.
+pub fn substation_key(index: usize) -> String {
+    format!("PSS-{index:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_two_hundred_unique_sensors() {
+        let cat = catalogue();
+        assert_eq!(cat.len(), SENSORS_PER_SUBSTATION);
+        let mut keys: Vec<_> = cat.iter().map(|s| s.key.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), SENSORS_PER_SUBSTATION, "keys unique");
+    }
+
+    #[test]
+    fn specs_fit_the_kvp_schema() {
+        for s in catalogue() {
+            assert!(!s.key.is_empty() && s.key.len() <= 64, "{}", s.key);
+            assert!(s.unit.len() >= 4 && s.unit.len() <= 34, "{}", s.unit);
+            assert!(s.min < s.max, "{}", s.key);
+        }
+    }
+
+    #[test]
+    fn values_render_within_bounds() {
+        let mut rng = Stream::new(3);
+        for s in catalogue() {
+            for _ in 0..20 {
+                let v = s.draw_value(&mut rng);
+                assert!(!v.is_empty() && v.len() <= 20, "{}: {v}", s.key);
+                let parsed: f64 = v.parse().unwrap();
+                assert!(parsed >= s.min - 1e-6 && parsed <= s.max + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_families_present() {
+        let cat = catalogue();
+        for family in ["LTC gassing", "MIS gas (H2)", "MIS gas (C2H2)", "PMU phase angle", "Leakage current"] {
+            assert!(
+                cat.iter().any(|s| s.family == family),
+                "family {family} from the paper's Fig 3 missing"
+            );
+        }
+    }
+
+    #[test]
+    fn substation_keys_sort_numerically() {
+        assert!(substation_key(7) < substation_key(10));
+        assert!(substation_key(99) < substation_key(100));
+        assert_eq!(substation_key(42), "PSS-000042");
+    }
+}

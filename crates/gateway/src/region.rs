@@ -1,0 +1,270 @@
+//! Key-range partitioning: regions and the routing table.
+
+use bytes::Bytes;
+
+/// A region: the half-open key range `[start, end)`. An empty `end` means
+/// unbounded. Regions carry their primary node and replica node set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub id: u64,
+    pub start: Bytes,
+    /// Exclusive upper bound; empty = +infinity.
+    pub end: Bytes,
+    /// Index of the node serving reads and coordinating writes.
+    pub primary: usize,
+    /// All nodes holding the data (`primary` is `replicas[0]`).
+    pub replicas: Vec<usize>,
+}
+
+impl Region {
+    pub fn contains(&self, key: &[u8]) -> bool {
+        key >= self.start.as_ref() && (self.end.is_empty() || key < self.end.as_ref())
+    }
+
+    /// True if `[start, end)` of the region intersects the query range
+    /// `[lo, hi)`.
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        (self.end.is_empty() || lo < self.end.as_ref()) && self.start.as_ref() < hi
+    }
+}
+
+/// The sorted routing table: contiguous, non-overlapping regions covering
+/// the whole keyspace.
+#[derive(Clone, Debug, Default)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+    next_id: u64,
+}
+
+impl RegionMap {
+    /// One region covering everything, assigned to node 0's replica group.
+    pub fn single(replicas: Vec<usize>) -> RegionMap {
+        RegionMap {
+            regions: vec![Region {
+                id: 0,
+                start: Bytes::new(),
+                end: Bytes::new(),
+                primary: replicas[0],
+                replicas,
+            }],
+            next_id: 1,
+        }
+    }
+
+    /// Pre-splits the keyspace at `split_points` (sorted, unique), placing
+    /// region `i` on the replica group chosen by `placement(i)`.
+    pub fn pre_split(
+        split_points: &[Bytes],
+        mut placement: impl FnMut(usize) -> Vec<usize>,
+    ) -> RegionMap {
+        let mut bounds = Vec::with_capacity(split_points.len() + 2);
+        bounds.push(Bytes::new());
+        for p in split_points {
+            bounds.push(p.clone());
+        }
+        bounds.push(Bytes::new()); // +inf
+        let mut regions = Vec::new();
+        for (i, window) in bounds.windows(2).enumerate() {
+            let replicas = placement(i);
+            regions.push(Region {
+                id: i as u64,
+                start: window[0].clone(),
+                end: window[1].clone(),
+                primary: replicas[0],
+                replicas,
+            });
+        }
+        RegionMap {
+            next_id: regions.len() as u64,
+            regions,
+        }
+    }
+
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region owning `key`.
+    pub fn lookup(&self, key: &[u8]) -> &Region {
+        // Last region whose start <= key. Regions are contiguous, so this
+        // is the owner.
+        let idx = self
+            .regions
+            .partition_point(|r| r.start.as_ref() <= key)
+            .saturating_sub(1);
+        debug_assert!(self.regions[idx].contains(key));
+        &self.regions[idx]
+    }
+
+    /// All regions intersecting `[lo, hi)`, in key order.
+    pub fn covering(&self, lo: &[u8], hi: &[u8]) -> Vec<&Region> {
+        self.regions.iter().filter(|r| r.overlaps(lo, hi)).collect()
+    }
+
+    /// Splits the region containing `split_key` at that key. The new right
+    /// half keeps the same replica group (HBase daughters stay local until
+    /// the balancer moves them). No-op if the key is a region boundary.
+    pub fn split_at(&mut self, split_key: &[u8]) -> Option<u64> {
+        let idx = self
+            .regions
+            .partition_point(|r| r.start.as_ref() <= split_key)
+            .saturating_sub(1);
+        let region = &self.regions[idx];
+        if region.start.as_ref() == split_key {
+            return None;
+        }
+        if !region.contains(split_key) {
+            return None;
+        }
+        let new_id = self.next_id;
+        self.next_id += 1;
+        let mut right = region.clone();
+        right.id = new_id;
+        right.start = Bytes::copy_from_slice(split_key);
+        self.regions[idx].end = Bytes::copy_from_slice(split_key);
+        self.regions.insert(idx + 1, right);
+        Some(new_id)
+    }
+
+    /// Reassigns primaries round-robin across `node_count` nodes, keeping
+    /// each region's replica count. Returns how many regions moved.
+    pub fn rebalance(&mut self, node_count: usize, replication: usize) -> usize {
+        let mut moved = 0;
+        for (i, region) in self.regions.iter_mut().enumerate() {
+            let primary = i % node_count;
+            let replicas: Vec<usize> = (0..replication.min(node_count))
+                .map(|r| (primary + r) % node_count)
+                .collect();
+            if region.primary != primary || region.replicas != replicas {
+                moved += 1;
+                region.primary = primary;
+                region.replicas = replicas;
+            }
+        }
+        moved
+    }
+
+    /// Checks structural invariants (contiguity, ordering); used by tests
+    /// and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.regions.is_empty() {
+            return Err("region map is empty".into());
+        }
+        if !self.regions[0].start.is_empty() {
+            return Err("first region must start at -inf".into());
+        }
+        if !self.regions[self.regions.len() - 1].end.is_empty() {
+            return Err("last region must end at +inf".into());
+        }
+        for w in self.regions.windows(2) {
+            if w[0].end != w[1].start {
+                return Err(format!(
+                    "gap/overlap between regions {} and {}",
+                    w[0].id, w[1].id
+                ));
+            }
+            if w[0].end.is_empty() {
+                return Err("interior region with unbounded end".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn single_region_covers_all() {
+        let map = RegionMap::single(vec![0, 1, 2]);
+        map.check_invariants().unwrap();
+        assert_eq!(map.lookup(b"").id, 0);
+        assert_eq!(map.lookup(b"anything").id, 0);
+        assert_eq!(map.lookup(&[0xff; 32]).id, 0);
+    }
+
+    #[test]
+    fn pre_split_routing() {
+        let map = RegionMap::pre_split(&[b("m"), b("t")], |i| vec![i % 2]);
+        map.check_invariants().unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.lookup(b"a").start, Bytes::new());
+        assert_eq!(map.lookup(b"m").start.as_ref(), b"m");
+        assert_eq!(map.lookup(b"s").start.as_ref(), b"m");
+        assert_eq!(map.lookup(b"t").start.as_ref(), b"t");
+        assert_eq!(map.lookup(b"zz").start.as_ref(), b"t");
+        // Placement callback respected.
+        assert_eq!(map.lookup(b"a").primary, 0);
+        assert_eq!(map.lookup(b"n").primary, 1);
+        assert_eq!(map.lookup(b"z").primary, 0);
+    }
+
+    #[test]
+    fn covering_ranges() {
+        let map = RegionMap::pre_split(&[b("g"), b("p")], |_| vec![0]);
+        let hits = map.covering(b"c", b"h");
+        assert_eq!(hits.len(), 2, "spans first two regions");
+        let hits = map.covering(b"h", b"i");
+        assert_eq!(hits.len(), 1);
+        let hits = map.covering(b"a", b"zz");
+        assert_eq!(hits.len(), 3);
+        // Range entirely inside the last region.
+        let hits = map.covering(b"q", b"r");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].start.as_ref(), b"p");
+    }
+
+    #[test]
+    fn split_preserves_invariants() {
+        let mut map = RegionMap::single(vec![0]);
+        assert!(map.split_at(b"m").is_some());
+        map.check_invariants().unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.lookup(b"a").end.as_ref(), b"m");
+        assert_eq!(map.lookup(b"x").start.as_ref(), b"m");
+        // Splitting at an existing boundary is a no-op.
+        assert!(map.split_at(b"m").is_none());
+        assert_eq!(map.len(), 2);
+        // Chain of splits.
+        map.split_at(b"c").unwrap();
+        map.split_at(b"t").unwrap();
+        map.check_invariants().unwrap();
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn rebalance_spreads_primaries() {
+        let mut map = RegionMap::pre_split(&[b("b"), b("c"), b("d"), b("e")], |_| vec![0, 1, 2]);
+        let moved = map.rebalance(4, 3);
+        assert!(moved > 0);
+        let primaries: Vec<usize> = map.regions().iter().map(|r| r.primary).collect();
+        assert_eq!(primaries, vec![0, 1, 2, 3, 0]);
+        for r in map.regions() {
+            assert_eq!(r.replicas.len(), 3);
+            assert_eq!(r.replicas[0], r.primary);
+            let mut unique = r.replicas.clone();
+            unique.dedup();
+            assert_eq!(unique.len(), 3, "replicas on distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replication_capped_by_node_count() {
+        let mut map = RegionMap::single(vec![0]);
+        map.rebalance(2, 3);
+        assert_eq!(map.regions()[0].replicas, vec![0, 1]);
+    }
+}

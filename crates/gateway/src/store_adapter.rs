@@ -1,0 +1,278 @@
+//! Adapts the cluster to the YCSB database interface layer, so the classic
+//! core workloads and the TPCx-IoT driver both run against the gateway.
+//!
+//! Row mapping: YCSB's `(table, key)` becomes the storage key
+//! `"<table>/<key>"`; the field map is serialised into the value with
+//! varint-length-prefixed `(name, value)` pairs.
+
+use crate::cluster::Cluster;
+use bytes::Bytes;
+use std::sync::Arc;
+use ycsb::store::{FieldMap, KvStore, StoreError, StoreResult};
+
+/// YCSB adapter over a shared [`Cluster`].
+pub struct GatewayKvStore {
+    cluster: Arc<Cluster>,
+}
+
+impl GatewayKvStore {
+    pub fn new(cluster: Arc<Cluster>) -> GatewayKvStore {
+        GatewayKvStore { cluster }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    fn storage_key(table: &str, key: &str) -> Vec<u8> {
+        let mut k = Vec::with_capacity(table.len() + key.len() + 1);
+        k.extend_from_slice(table.as_bytes());
+        k.push(b'/');
+        k.extend_from_slice(key.as_bytes());
+        k
+    }
+}
+
+fn put_varint(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+fn get_varint(src: &mut &[u8]) -> Option<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    let mut consumed = 0;
+    for &b in src.iter() {
+        consumed += 1;
+        result |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            *src = &src[consumed..];
+            return Some(result);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Serialises a field map into a single storage value.
+pub fn encode_fields(fields: &FieldMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fields.iter().map(|(n, v)| n.len() + v.len() + 4).sum());
+    for (name, value) in fields {
+        put_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        put_varint(&mut out, value.len() as u64);
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+/// Deserialises a storage value into a field map.
+pub fn decode_fields(mut data: &[u8]) -> Option<FieldMap> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let name_len = get_varint(&mut data)? as usize;
+        if data.len() < name_len {
+            return None;
+        }
+        let (name, rest) = data.split_at(name_len);
+        data = rest;
+        let value_len = get_varint(&mut data)? as usize;
+        if data.len() < value_len {
+            return None;
+        }
+        let (value, rest) = data.split_at(value_len);
+        data = rest;
+        out.push((
+            String::from_utf8(name.to_vec()).ok()?,
+            Bytes::copy_from_slice(value),
+        ));
+    }
+    Some(out)
+}
+
+fn project(row: FieldMap, fields: Option<&[String]>) -> FieldMap {
+    match fields {
+        None => row,
+        Some(wanted) => row
+            .into_iter()
+            .filter(|(name, _)| wanted.iter().any(|w| w == name))
+            .collect(),
+    }
+}
+
+fn backend(e: crate::GatewayError) -> StoreError {
+    StoreError::Backend(e.to_string())
+}
+
+impl KvStore for GatewayKvStore {
+    fn insert(&self, table: &str, key: &str, values: &FieldMap) -> StoreResult<()> {
+        let k = Self::storage_key(table, key);
+        self.cluster
+            .put(&k, &encode_fields(values))
+            .map_err(backend)
+    }
+
+    fn read(&self, table: &str, key: &str, fields: Option<&[String]>) -> StoreResult<FieldMap> {
+        let k = Self::storage_key(table, key);
+        let value = self
+            .cluster
+            .get(&k)
+            .map_err(backend)?
+            .ok_or(StoreError::NotFound)?;
+        let row = decode_fields(&value)
+            .ok_or_else(|| StoreError::Backend("undecodable row".into()))?;
+        Ok(project(row, fields))
+    }
+
+    fn update(&self, table: &str, key: &str, values: &FieldMap) -> StoreResult<()> {
+        // Read-merge-write (HBase mutates columns in place; an LSM models
+        // that as a fresh versioned put of the merged row).
+        let mut row = self.read(table, key, None)?;
+        for (name, value) in values {
+            match row.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = value.clone(),
+                None => row.push((name.clone(), value.clone())),
+            }
+        }
+        let k = Self::storage_key(table, key);
+        self.cluster.put(&k, &encode_fields(&row)).map_err(backend)
+    }
+
+    fn delete(&self, table: &str, key: &str) -> StoreResult<()> {
+        let k = Self::storage_key(table, key);
+        // Match MemoryStore semantics: deleting a missing row is NotFound.
+        if self.cluster.get(&k).map_err(backend)?.is_none() {
+            return Err(StoreError::NotFound);
+        }
+        self.cluster.delete(&k).map_err(backend)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        start_key: &str,
+        count: usize,
+        fields: Option<&[String]>,
+    ) -> StoreResult<Vec<(String, FieldMap)>> {
+        let lo = Self::storage_key(table, start_key);
+        let mut hi = Vec::with_capacity(table.len() + 1);
+        hi.extend_from_slice(table.as_bytes());
+        hi.push(b'/' + 1); // first key after the table's prefix space
+        let rows = self.cluster.scan(&lo, &hi, count).map_err(backend)?;
+        let prefix_len = table.len() + 1;
+        rows.into_iter()
+            .map(|(k, v)| {
+                let key = String::from_utf8(k[prefix_len..].to_vec())
+                    .map_err(|_| StoreError::Backend("non-utf8 key".into()))?;
+                let row = decode_fields(&v)
+                    .ok_or_else(|| StoreError::Backend("undecodable row".into()))?;
+                Ok((key, project(row, fields)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use iotkv::Options;
+
+    fn store(name: &str) -> (GatewayKvStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "gateway-adapter-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut config = ClusterConfig::new(&dir, 2);
+        config.storage = Options::small();
+        let cluster = Arc::new(Cluster::start(config).unwrap());
+        (GatewayKvStore::new(cluster), dir)
+    }
+
+    fn row(pairs: &[(&str, &str)]) -> FieldMap {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Bytes::copy_from_slice(v.as_bytes())))
+            .collect()
+    }
+
+    #[test]
+    fn field_codec_round_trip() {
+        let fields = row(&[("field0", "hello"), ("field1", ""), ("長い名前", "値")]);
+        let encoded = encode_fields(&fields);
+        assert_eq!(decode_fields(&encoded).unwrap(), fields);
+        assert_eq!(decode_fields(&[]).unwrap(), Vec::new());
+        assert!(decode_fields(&[5, b'a']).is_none(), "truncated");
+    }
+
+    #[test]
+    fn ycsb_operations_against_cluster() {
+        let (s, dir) = store("ops");
+        s.insert("usertable", "user5", &row(&[("field0", "x")])).unwrap();
+        let got = s.read("usertable", "user5", None).unwrap();
+        assert_eq!(got, row(&[("field0", "x")]));
+
+        s.update("usertable", "user5", &row(&[("field1", "y")])).unwrap();
+        let got = s.read("usertable", "user5", None).unwrap();
+        assert_eq!(got.len(), 2);
+
+        let got = s
+            .read("usertable", "user5", Some(&["field1".to_string()]))
+            .unwrap();
+        assert_eq!(got, row(&[("field1", "y")]));
+
+        assert_eq!(s.read("usertable", "ghost", None), Err(StoreError::NotFound));
+        assert_eq!(s.delete("usertable", "ghost"), Err(StoreError::NotFound));
+        s.delete("usertable", "user5").unwrap();
+        assert_eq!(s.read("usertable", "user5", None), Err(StoreError::NotFound));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_stays_within_table() {
+        let (s, dir) = store("scan");
+        for i in 0..10 {
+            s.insert("t1", &format!("k{i}"), &row(&[("f", "v")])).unwrap();
+        }
+        s.insert("t2", "k0", &row(&[("f", "other-table")])).unwrap();
+        let rows = s.scan("t1", "k3", 4, None).unwrap();
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["k3", "k4", "k5", "k6"]);
+        // Scanning past the end of t1 must not leak into t2.
+        let rows = s.scan("t1", "k8", 100, None).unwrap();
+        assert_eq!(rows.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn core_workload_runs_against_gateway() {
+        use ycsb::runner::{RunConfig, Runner};
+        use ycsb::workload::{CoreWorkload, WorkloadConfig};
+
+        let (s, dir) = store("ycsb");
+        let cfg = WorkloadConfig {
+            record_count: 200,
+            field_count: 2,
+            field_length: 16,
+            ..WorkloadConfig::preset_a()
+        };
+        let runner = Runner::new(Arc::new(s), Arc::new(CoreWorkload::new(cfg).unwrap()));
+        let rc = RunConfig {
+            threads: 2,
+            operation_count: 400,
+            ..Default::default()
+        };
+        let load = runner.load(&rc);
+        assert_eq!(load.failures, 0);
+        let run = runner.run(&rc);
+        assert_eq!(run.failures, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

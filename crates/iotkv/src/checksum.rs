@@ -1,0 +1,124 @@
+//! CRC-32C (Castagnoli) implemented in software with a 8×256-entry
+//! slice-by-8 table. Implemented in-repo because no checksum crate is on
+//! this project's allowed dependency list; verified against the published
+//! RFC 3720 test vectors.
+
+const POLY: u32 = 0x82F6_3B78; // reflected Castagnoli polynomial
+
+/// 8 tables of 256 entries each, built at first use.
+struct Tables([[u32; 256]; 8]);
+
+fn build_tables() -> Tables {
+    let mut t = [[0u32; 256]; 8];
+    for (i, entry) in t[0].iter_mut().enumerate() {
+        let mut crc = i as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+        *entry = crc;
+    }
+    for i in 0..256 {
+        let mut crc = t[0][i];
+        for k in 1..8 {
+            crc = t[0][(crc & 0xff) as usize] ^ (crc >> 8);
+            t[k][i] = crc;
+        }
+    }
+    Tables(t)
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+/// Computes the CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extends a running CRC-32C with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let t = &tables().0;
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Masked CRC as used by LevelDB/RocksDB log formats: a CRC of a CRC is
+/// pathological, so stored CRCs are rotated and offset.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(0xa282_ead8)
+}
+
+/// Inverse of [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(0xa282_ead8).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 3720 §B.4 test vectors.
+    #[test]
+    fn rfc3720_vectors() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn known_string_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(extend(extend(0, a), b), crc32c(data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        for crc in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            assert_eq!(unmask(mask(crc)), crc);
+            assert_ne!(mask(crc), crc);
+        }
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let base = crc32c(&data);
+        data[17] ^= 0x01;
+        assert_ne!(crc32c(&data), base);
+    }
+}

@@ -1,0 +1,433 @@
+//! Compaction: picking what to merge and streaming the merge.
+//!
+//! Two strategies are implemented (selected by
+//! [`crate::Options::compaction`]):
+//!
+//! * **Leveled** — L0 compacts into L1 when it accumulates
+//!   `l0_compaction_trigger` tables; level *n* ≥ 1 compacts its first file
+//!   (plus overlapping L(n+1) files) into L(n+1) when the level's byte size
+//!   exceeds `l1_bytes · multiplier^(n-1)`.
+//! * **Size-tiered** — when any tier accumulates `l0_compaction_trigger`
+//!   tables, the whole tier merges into a single run placed in the next
+//!   tier. This approximates HBase's minor-compaction behaviour.
+//!
+//! The engine tracks no long-lived snapshots, so a merge keeps only the
+//! newest version of each user key. Tombstones are dropped only when the
+//! output lands on the bottom-most level that can contain the key —
+//! dropping them earlier would resurrect older versions living below.
+
+use crate::memtable::InternalKey;
+use crate::iter::{MergeIterator, Source};
+use crate::sstable::builder::TableMeta;
+use crate::sstable::TableBuilder;
+use crate::version::{table_path, FileMeta, Version};
+use crate::{Options, Result, ValueKind};
+use std::path::Path;
+
+/// A unit of compaction work chosen by a picker.
+#[derive(Debug)]
+pub struct CompactionJob {
+    /// Level the input files come from (`0` for an L0→L1 compaction).
+    pub level: usize,
+    /// Level the outputs land on.
+    pub target_level: usize,
+    /// Input files from `level`.
+    pub inputs: Vec<FileMeta>,
+    /// Overlapping input files from `target_level`.
+    pub overlaps: Vec<FileMeta>,
+    /// Whether tombstones may be dropped (output is bottom-most).
+    pub drop_tombstones: bool,
+}
+
+impl CompactionJob {
+    pub fn input_ids(&self) -> Vec<u64> {
+        self.inputs
+            .iter()
+            .chain(&self.overlaps)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(&self.overlaps)
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+fn key_range(files: &[FileMeta]) -> (Vec<u8>, Vec<u8>) {
+    let mut lo: Option<&[u8]> = None;
+    let mut hi: Option<&[u8]> = None;
+    for f in files {
+        if lo.map(|l| f.smallest.user_key.as_ref() < l).unwrap_or(true) {
+            lo = Some(&f.smallest.user_key);
+        }
+        if hi.map(|h| f.largest.user_key.as_ref() > h).unwrap_or(true) {
+            hi = Some(&f.largest.user_key);
+        }
+    }
+    (
+        lo.unwrap_or_default().to_vec(),
+        hi.unwrap_or_default().to_vec(),
+    )
+}
+
+/// True if no level deeper than `target_level` holds data overlapping the
+/// key range — the condition under which tombstones can be dropped.
+fn is_bottom_most(version: &Version, target_level: usize, lo: &[u8], hi: &[u8]) -> bool {
+    ((target_level + 1)..version.levels.len())
+        .all(|l| version.overlapping(l, lo, hi).is_empty())
+}
+
+/// Byte budget of a level under the leveled strategy.
+pub fn level_target_bytes(opts: &Options, level: usize) -> u64 {
+    debug_assert!(level >= 1);
+    opts.l1_bytes
+        .saturating_mul(opts.level_size_multiplier.saturating_pow(level as u32 - 1))
+}
+
+/// Chooses the next leveled compaction, if any is needed.
+pub fn pick_leveled(version: &Version, opts: &Options) -> Option<CompactionJob> {
+    // L0 first: too many files hurt every read.
+    if version.levels[0].len() >= opts.l0_compaction_trigger {
+        let inputs = version.levels[0].clone();
+        let (lo, hi) = key_range(&inputs);
+        let overlaps = version.overlapping(1, &lo, &hi);
+        let drop_tombstones = is_bottom_most(version, 1, &lo, &hi);
+        return Some(CompactionJob {
+            level: 0,
+            target_level: 1,
+            inputs,
+            overlaps,
+            drop_tombstones,
+        });
+    }
+    // Deeper levels by size pressure, shallowest first.
+    for level in 1..version.levels.len() - 1 {
+        if version.level_bytes(level) > level_target_bytes(opts, level) {
+            // Compact the file with the smallest key first (simple, fair
+            // rotation would need persistent state).
+            let inputs = vec![version.levels[level][0].clone()];
+            let (lo, hi) = key_range(&inputs);
+            let overlaps = version.overlapping(level + 1, &lo, &hi);
+            let drop_tombstones = is_bottom_most(version, level + 1, &lo, &hi);
+            return Some(CompactionJob {
+                level,
+                target_level: level + 1,
+                inputs,
+                overlaps,
+                drop_tombstones,
+            });
+        }
+    }
+    None
+}
+
+/// Chooses the next size-tiered compaction: the shallowest tier holding at
+/// least `l0_compaction_trigger` runs merges entirely into the next tier.
+pub fn pick_tiered(version: &Version, opts: &Options) -> Option<CompactionJob> {
+    for tier in 0..version.levels.len() - 1 {
+        if version.levels[tier].len() >= opts.l0_compaction_trigger {
+            let inputs = version.levels[tier].clone();
+            let (lo, hi) = key_range(&inputs);
+            // Tiered runs overlap freely; merging with the next tier's
+            // overlapping runs keeps lookups bounded.
+            let overlaps = version.overlapping(tier + 1, &lo, &hi);
+            let drop_tombstones = is_bottom_most(version, tier + 1, &lo, &hi);
+            return Some(CompactionJob {
+                level: tier,
+                target_level: tier + 1,
+                inputs,
+                overlaps,
+                drop_tombstones,
+            });
+        }
+    }
+    None
+}
+
+/// Streams a merge of `sources` into one or more output tables in `dir`,
+/// splitting at `opts.table_bytes`. `alloc_id` must return fresh file ids.
+///
+/// Version retention is snapshot-aware. For each user key (versions arrive
+/// newest-first from the merge):
+///
+/// * versions are kept until one with `seq <= min_snapshot` has been kept —
+///   that version still serves every active snapshot; everything older is
+///   unreachable and dropped,
+/// * when `drop_tombstones` is set (output is bottom-most), tombstones are
+///   elided from the output; a tombstone with `seq <= min_snapshot` also
+///   releases all older versions of its key.
+pub fn merge_to_tables(
+    sources: Vec<Source>,
+    dir: &Path,
+    opts: &Options,
+    drop_tombstones: bool,
+    min_snapshot: crate::SeqNo,
+    mut alloc_id: impl FnMut() -> u64,
+) -> Result<Vec<(u64, TableMeta)>> {
+    let mut out: Vec<(u64, TableMeta)> = Vec::new();
+    let mut current: Option<(u64, TableBuilder)> = None;
+    let mut last_user_key: Option<InternalKey> = None;
+    // True once a kept (or bottom-dropped) version of the current user key
+    // satisfies every active snapshot.
+    let mut key_settled = false;
+
+    let mut merged = MergeIterator::new(sources);
+    for (ik, value) in &mut merged {
+        let same_key = last_user_key
+            .as_ref()
+            .map(|prev| prev.user_key == ik.user_key)
+            .unwrap_or(false);
+        if !same_key {
+            key_settled = false;
+        }
+        last_user_key = Some(ik.clone());
+        if key_settled {
+            continue; // an older version no snapshot can reach
+        }
+        key_settled = ik.seq <= min_snapshot;
+        if drop_tombstones && ik.kind == ValueKind::Delete {
+            // Bottom-most output: the tombstone itself can vanish.
+            continue;
+        }
+        if current.is_none() {
+            let id = alloc_id();
+            let b = TableBuilder::create(&table_path(dir, id), opts.block_bytes, opts.bloom_bits_per_key)?;
+            current = Some((id, b));
+        }
+        let (id, builder) = current.as_mut().expect("just ensured");
+        builder.add(&ik, &value)?;
+        if builder.estimated_size() >= opts.table_bytes {
+            let (id, builder) = (*id, current.take().expect("present").1);
+            out.push((id, builder.finish()?));
+        }
+    }
+    if let Some(e) = merged.take_error() {
+        return Err(e);
+    }
+    if let Some((id, builder)) = current {
+        if builder.entry_count() > 0 {
+            out.push((id, builder.finish()?));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn ik(key: &str, seq: u64) -> InternalKey {
+        InternalKey::new(Bytes::copy_from_slice(key.as_bytes()), seq, ValueKind::Put)
+    }
+
+    fn meta(id: u64, lo: &str, hi: &str, size: u64) -> FileMeta {
+        FileMeta {
+            id,
+            size,
+            entry_count: 1,
+            smallest: ik(lo, u64::MAX),
+            largest: ik(hi, 0),
+        }
+    }
+
+    fn opts() -> Options {
+        Options::small()
+    }
+
+    #[test]
+    fn leveled_picks_l0_when_full() {
+        let mut v = Version::new(4);
+        for id in 1..=4 {
+            v.levels[0].push(meta(id, "a", "m", 100));
+        }
+        v.levels[1].push(meta(10, "c", "f", 100));
+        v.levels[1].push(meta(11, "x", "z", 100));
+        let job = pick_leveled(&v, &opts()).unwrap();
+        assert_eq!(job.level, 0);
+        assert_eq!(job.target_level, 1);
+        assert_eq!(job.inputs.len(), 4);
+        // Only the overlapping L1 file joins.
+        assert_eq!(job.overlaps.len(), 1);
+        assert_eq!(job.overlaps[0].id, 10);
+        // L2+ is empty, so tombstones can be dropped.
+        assert!(job.drop_tombstones);
+        assert_eq!(job.input_bytes(), 500);
+    }
+
+    #[test]
+    fn leveled_tombstones_kept_when_data_below() {
+        let mut v = Version::new(4);
+        for id in 1..=4 {
+            v.levels[0].push(meta(id, "a", "m", 100));
+        }
+        v.levels[2].push(meta(20, "b", "c", 100));
+        let job = pick_leveled(&v, &opts()).unwrap();
+        assert!(!job.drop_tombstones, "L2 holds overlapping data");
+    }
+
+    #[test]
+    fn leveled_picks_by_size_pressure() {
+        let o = opts();
+        let mut v = Version::new(4);
+        // L1 over budget.
+        v.levels[1].push(meta(5, "a", "c", level_target_bytes(&o, 1) + 1));
+        v.levels[2].push(meta(6, "b", "z", 10));
+        let job = pick_leveled(&v, &o).unwrap();
+        assert_eq!(job.level, 1);
+        assert_eq!(job.target_level, 2);
+        assert_eq!(job.inputs[0].id, 5);
+        assert_eq!(job.overlaps[0].id, 6);
+    }
+
+    #[test]
+    fn no_compaction_when_quiet() {
+        let mut v = Version::new(4);
+        v.levels[0].push(meta(1, "a", "b", 10));
+        assert!(pick_leveled(&v, &opts()).is_none());
+        assert!(pick_tiered(&v, &opts()).is_none());
+    }
+
+    #[test]
+    fn tiered_merges_full_tier() {
+        let mut v = Version::new(4);
+        for id in 1..=4 {
+            v.levels[0].push(meta(id, "a", "m", 100));
+        }
+        let job = pick_tiered(&v, &opts()).unwrap();
+        assert_eq!(job.level, 0);
+        assert_eq!(job.target_level, 1);
+        assert_eq!(job.inputs.len(), 4);
+    }
+
+    #[test]
+    fn merge_drops_shadowed_versions_and_tombstones() {
+        let dir = std::env::temp_dir().join(format!("iotkv-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let newer = vec![
+            (ik("a", 9), Bytes::from_static(b"a9")),
+            (
+                InternalKey::new(Bytes::from_static(b"b"), 8, ValueKind::Delete),
+                Bytes::new(),
+            ),
+        ];
+        let older = vec![
+            (ik("a", 2), Bytes::from_static(b"a2")),
+            (ik("b", 3), Bytes::from_static(b"b3")),
+            (ik("c", 4), Bytes::from_static(b"c4")),
+        ];
+        let mut next_id = 100u64;
+        let outs = merge_to_tables(
+            vec![Source::Vec(newer.into_iter()), Source::Vec(older.into_iter())],
+            &dir,
+            &opts(),
+            true,
+            u64::MAX,
+            || {
+                next_id += 1;
+                next_id
+            },
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 1);
+        let (_, m) = &outs[0];
+        // a (newest), c survive; b fully dropped (tombstone at bottom).
+        assert_eq!(m.entry_count, 2);
+        assert_eq!(m.smallest.user_key.as_ref(), b"a");
+        assert_eq!(m.smallest.seq, 9);
+        assert_eq!(m.largest.user_key.as_ref(), b"c");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn merge_keeps_tombstones_when_not_bottom() {
+        let dir = std::env::temp_dir().join(format!("iotkv-compact2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = vec![(
+            InternalKey::new(Bytes::from_static(b"b"), 8, ValueKind::Delete),
+            Bytes::new(),
+        )];
+        let mut next_id = 200u64;
+        let outs = merge_to_tables(
+            vec![Source::Vec(src.into_iter())],
+            &dir,
+            &opts(),
+            false,
+            u64::MAX,
+            || {
+                next_id += 1;
+                next_id
+            },
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1.entry_count, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn merge_retains_versions_needed_by_snapshots() {
+        let dir = std::env::temp_dir().join(format!("iotkv-compact4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Key "a" has versions at seq 9, 5, 2. An active snapshot at seq 6
+        // needs version 5; version 2 is unreachable.
+        let src = vec![
+            (ik("a", 9), Bytes::from_static(b"a9")),
+            (ik("a", 5), Bytes::from_static(b"a5")),
+            (ik("a", 2), Bytes::from_static(b"a2")),
+        ];
+        let mut next_id = 400u64;
+        let outs = merge_to_tables(
+            vec![Source::Vec(src.into_iter())],
+            &dir,
+            &opts(),
+            true,
+            6, // min active snapshot
+            || {
+                next_id += 1;
+                next_id
+            },
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1.entry_count, 2, "seq 9 and seq 5 kept, seq 2 dropped");
+        assert_eq!(outs[0].1.largest.seq, 5);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn merge_splits_output_at_table_budget() {
+        let dir = std::env::temp_dir().join(format!("iotkv-compact3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut o = opts();
+        o.table_bytes = 2048;
+        let entries: Vec<_> = (0..200)
+            .map(|i| (ik(&format!("k{i:05}"), 1), Bytes::from(vec![0u8; 64])))
+            .collect();
+        let mut next_id = 300u64;
+        let outs = merge_to_tables(
+            vec![Source::Vec(entries.into_iter())],
+            &dir,
+            &o,
+            true,
+            u64::MAX,
+            || {
+                next_id += 1;
+                next_id
+            },
+        )
+        .unwrap();
+        assert!(outs.len() > 1, "output split into {} tables", outs.len());
+        let total: u64 = outs.iter().map(|(_, m)| m.entry_count).sum();
+        assert_eq!(total, 200);
+        // Outputs are disjoint and ordered.
+        for w in outs.windows(2) {
+            assert!(w[0].1.largest < w[1].1.smallest);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

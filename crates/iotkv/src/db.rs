@@ -1,0 +1,1214 @@
+//! The database façade: ties the WAL, memtables, tables, versions, and
+//! compaction together behind `put`/`get`/`delete`/`write`/`scan`.
+//!
+//! # Concurrency model
+//!
+//! * All writes funnel through a dedicated **commit thread** over a
+//!   crossbeam channel. The thread drains the channel in groups, appends
+//!   every batch in the group to the WAL, performs **one** flush/fsync per
+//!   group (group commit), applies the batches to the memtable, publishes
+//!   the new visible sequence number, and only then releases the waiting
+//!   writers. Group commit is what amortises `fsync` under concurrency —
+//!   the effect the paper's super-linear scaling region rides on.
+//! * Reads are lock-light: they load the visible sequence number, snapshot
+//!   `Arc`s of the memtables and the current version, and proceed without
+//!   blocking writers.
+//! * Flush and compaction run either on a **background thread**
+//!   (`Options::background_compaction`) or inline on the commit thread
+//!   (deterministic mode for tests).
+//! * Scans register a snapshot sequence number; compaction never discards
+//!   a version some registered snapshot still needs.
+
+use crate::batch::WriteBatch;
+use crate::cache::BlockCache;
+use crate::compaction::{merge_to_tables, pick_leveled, pick_tiered, CompactionJob};
+use crate::iter::{MergeIterator, Source, VisibleIter};
+use crate::memtable::{InternalKey, MemTable};
+use crate::sstable::Table;
+use crate::version::{
+    load_manifest, save_manifest, table_path, wal_path, FileMeta, ManifestState, Version,
+};
+use crate::wal::{LogReader, LogWriter};
+use crate::{CompactionStyle, Error, Options, Result, SeqNo, SyncMode};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum batches merged into one commit group.
+const MAX_GROUP: usize = 128;
+
+enum CommitMsg {
+    Write {
+        batch: WriteBatch,
+        reply: Sender<Result<()>>,
+    },
+    Flush {
+        reply: Sender<Result<()>>,
+    },
+    Shutdown,
+}
+
+struct ImmMem {
+    wal_id: u64,
+    mem: Arc<MemTable>,
+}
+
+struct VersionState {
+    version: Arc<Version>,
+    tables: HashMap<u64, Arc<Table>>,
+    next_file_id: u64,
+    log_number: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    gets: AtomicU64,
+    scans: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    bytes_flushed: AtomicU64,
+    bytes_compacted: AtomicU64,
+    wal_syncs: AtomicU64,
+    commit_groups: AtomicU64,
+    commit_batches: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A point-in-time snapshot of engine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    pub puts: u64,
+    pub deletes: u64,
+    pub gets: u64,
+    pub scans: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub bytes_flushed: u64,
+    pub bytes_compacted: u64,
+    pub wal_syncs: u64,
+    pub commit_groups: u64,
+    pub commit_batches: u64,
+    pub stalls: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub table_count: usize,
+    pub level_shape: [usize; 8],
+}
+
+struct DbInner {
+    dir: PathBuf,
+    opts: Options,
+    cache: Arc<BlockCache>,
+    mem: RwLock<Arc<MemTable>>,
+    imm: Mutex<VecDeque<ImmMem>>,
+    vset: Mutex<VersionState>,
+    visible_seq: AtomicU64,
+    /// Active scan snapshots: seq -> refcount.
+    snapshots: Mutex<BTreeMap<SeqNo, usize>>,
+    counters: Counters,
+    closed: AtomicBool,
+    bg_mutex: Mutex<()>,
+    bg_cv: Condvar,
+    bg_error: Mutex<Option<Error>>,
+}
+
+impl DbInner {
+    fn check_bg_error(&self) -> Result<()> {
+        match &*self.bg_error.lock() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Oldest sequence number any reader may still need.
+    fn min_snapshot(&self) -> SeqNo {
+        let snaps = self.snapshots.lock();
+        snaps
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.visible_seq.load(Ordering::Acquire))
+    }
+
+    fn register_snapshot(&self, seq: SeqNo) {
+        *self.snapshots.lock().entry(seq).or_insert(0) += 1;
+    }
+
+    fn release_snapshot(&self, seq: SeqNo) {
+        let mut snaps = self.snapshots.lock();
+        if let Some(count) = snaps.get_mut(&seq) {
+            *count -= 1;
+            if *count == 0 {
+                snaps.remove(&seq);
+            }
+        }
+    }
+
+    fn alloc_file_id(&self) -> u64 {
+        let mut vset = self.vset.lock();
+        let id = vset.next_file_id;
+        vset.next_file_id += 1;
+        id
+    }
+
+    fn persist(&self, vset: &VersionState) -> Result<()> {
+        save_manifest(
+            &self.dir,
+            &ManifestState {
+                next_file_id: vset.next_file_id,
+                last_seq: self.visible_seq.load(Ordering::Acquire),
+                log_number: vset.log_number,
+                version: (*vset.version).clone(),
+            },
+        )
+    }
+
+    /// Flushes the oldest immutable memtable to an L0 table.
+    fn flush_one_imm(&self) -> Result<bool> {
+        let front = {
+            let imm = self.imm.lock();
+            match imm.front() {
+                Some(f) => ImmMem {
+                    wal_id: f.wal_id,
+                    mem: Arc::clone(&f.mem),
+                },
+                None => return Ok(false),
+            }
+        };
+        let entries = front.mem.all_entries();
+        let min_snapshot = self.min_snapshot();
+        let outputs = merge_to_tables(
+            vec![Source::Vec(entries.into_iter())],
+            &self.dir,
+            &self.opts,
+            false,
+            min_snapshot,
+            || self.alloc_file_id(),
+        )?;
+
+        let mut vset = self.vset.lock();
+        let mut added = Vec::new();
+        for (id, meta) in &outputs {
+            self.counters
+                .bytes_flushed
+                .fetch_add(meta.file_size, Ordering::Relaxed);
+            added.push((
+                0usize,
+                FileMeta {
+                    id: *id,
+                    size: meta.file_size,
+                    entry_count: meta.entry_count,
+                    smallest: meta.smallest.clone(),
+                    largest: meta.largest.clone(),
+                },
+            ));
+            let table = Table::open(&table_path(&self.dir, *id), *id, Arc::clone(&self.cache))?;
+            vset.tables.insert(*id, Arc::new(table));
+        }
+        vset.version = Arc::new(vset.version.apply(&[], &added));
+        vset.log_number = vset.log_number.max(front.wal_id + 1);
+        self.persist(&vset)?;
+        let log_number = vset.log_number;
+        drop(vset);
+
+        // The data is durable in the table; retire the memtable and its WAL.
+        {
+            let mut imm = self.imm.lock();
+            if imm.front().map(|f| f.wal_id) == Some(front.wal_id) {
+                imm.pop_front();
+            }
+        }
+        self.delete_stale_wals(log_number);
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    fn delete_stale_wals(&self, log_number: u64) {
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(stem) = name.strip_suffix(".wal") {
+                    if let Ok(id) = stem.parse::<u64>() {
+                        if id < log_number {
+                            std::fs::remove_file(entry.path()).ok();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs compactions until the tree satisfies its invariants.
+    fn compact_until_quiet(&self) -> Result<()> {
+        loop {
+            let job = {
+                let vset = self.vset.lock();
+                match self.opts.compaction {
+                    CompactionStyle::Leveled => pick_leveled(&vset.version, &self.opts),
+                    CompactionStyle::SizeTiered => pick_tiered(&vset.version, &self.opts),
+                }
+            };
+            let Some(job) = job else { return Ok(()) };
+            self.run_compaction(&job)?;
+        }
+    }
+
+    fn run_compaction(&self, job: &CompactionJob) -> Result<()> {
+        let sources: Vec<Source> = {
+            let vset = self.vset.lock();
+            job.inputs
+                .iter()
+                .chain(&job.overlaps)
+                .map(|f| {
+                    let table = vset
+                        .tables
+                        .get(&f.id)
+                        .unwrap_or_else(|| panic!("table {} missing from version state", f.id));
+                    Source::Table(table.iter())
+                })
+                .collect()
+        };
+        let min_snapshot = self.min_snapshot();
+        let outputs = merge_to_tables(
+            sources,
+            &self.dir,
+            &self.opts,
+            job.drop_tombstones,
+            min_snapshot,
+            || self.alloc_file_id(),
+        )?;
+
+        let deleted = job.input_ids();
+        self.counters
+            .bytes_compacted
+            .fetch_add(job.input_bytes(), Ordering::Relaxed);
+
+        let mut vset = self.vset.lock();
+        let mut added = Vec::new();
+        for (id, meta) in &outputs {
+            added.push((
+                job.target_level,
+                FileMeta {
+                    id: *id,
+                    size: meta.file_size,
+                    entry_count: meta.entry_count,
+                    smallest: meta.smallest.clone(),
+                    largest: meta.largest.clone(),
+                },
+            ));
+            let table = Table::open(&table_path(&self.dir, *id), *id, Arc::clone(&self.cache))?;
+            vset.tables.insert(*id, Arc::new(table));
+        }
+        vset.version = Arc::new(vset.version.apply(&deleted, &added));
+        self.persist(&vset)?;
+        for id in &deleted {
+            vset.tables.remove(id);
+        }
+        drop(vset);
+
+        for id in &deleted {
+            self.cache.erase_table(*id);
+            std::fs::remove_file(table_path(&self.dir, *id)).ok();
+        }
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn maintenance_pending(&self) -> bool {
+        if !self.imm.lock().is_empty() {
+            return true;
+        }
+        let vset = self.vset.lock();
+        match self.opts.compaction {
+            CompactionStyle::Leveled => pick_leveled(&vset.version, &self.opts).is_some(),
+            CompactionStyle::SizeTiered => pick_tiered(&vset.version, &self.opts).is_some(),
+        }
+    }
+}
+
+/// An embedded LSM key-value store. See the [crate docs](crate) for the
+/// architecture overview and an example.
+///
+/// `Db` is cheap to share: clone the handle (internally `Arc`).
+pub struct Db {
+    inner: Arc<DbInner>,
+    commit_tx: Sender<CommitMsg>,
+    commit_handle: Mutex<Option<JoinHandle<()>>>,
+    bg_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Db {
+    /// Opens (creating if needed) a database in `dir`, recovering any
+    /// manifest state and replaying WAL tails from a previous process.
+    pub fn open(dir: impl AsRef<Path>, opts: Options) -> Result<Db> {
+        opts.validate()?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
+        let manifest = load_manifest(&dir)?;
+        let (version, mut next_file_id, mut last_seq, log_number) = match manifest {
+            Some(m) => (m.version, m.next_file_id, m.last_seq, m.log_number),
+            None => (Version::new(opts.max_levels), 1, 0, 0),
+        };
+
+        // Never reuse a file id present on disk (e.g. manifest lost).
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                for suffix in [".sst", ".wal"] {
+                    if let Some(stem) = name.strip_suffix(suffix) {
+                        if let Ok(id) = stem.parse::<u64>() {
+                            next_file_id = next_file_id.max(id + 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut tables = HashMap::new();
+        for level in &version.levels {
+            for f in level {
+                let table = Table::open(&table_path(&dir, f.id), f.id, Arc::clone(&cache))?;
+                tables.insert(f.id, Arc::new(table));
+            }
+        }
+
+        // Replay WAL tails (ids >= log_number) in id order.
+        let mem = Arc::new(MemTable::new());
+        let mut wal_ids: Vec<u64> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(stem) = name.strip_suffix(".wal") {
+                    if let Ok(id) = stem.parse::<u64>() {
+                        if id >= log_number {
+                            wal_ids.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        wal_ids.sort_unstable();
+        for id in &wal_ids {
+            let mut reader = LogReader::open(&wal_path(&dir, *id))?;
+            while let Some(payload) = reader.next_record()? {
+                let (_, ops) = WriteBatch::decode(&payload)?;
+                for op in ops {
+                    let op = op?;
+                    mem.add(&op.key, op.seq, op.kind, &op.value);
+                    last_seq = last_seq.max(op.seq);
+                }
+            }
+        }
+
+        let wal_id = next_file_id;
+        next_file_id += 1;
+        let wal = LogWriter::create(&wal_path(&dir, wal_id))?;
+
+        let inner = Arc::new(DbInner {
+            dir,
+            opts: opts.clone(),
+            cache,
+            mem: RwLock::new(mem),
+            imm: Mutex::new(VecDeque::new()),
+            vset: Mutex::new(VersionState {
+                version: Arc::new(version),
+                tables,
+                next_file_id,
+                log_number,
+            }),
+            visible_seq: AtomicU64::new(last_seq),
+            snapshots: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            closed: AtomicBool::new(false),
+            bg_mutex: Mutex::new(()),
+            bg_cv: Condvar::new(),
+            bg_error: Mutex::new(None),
+        });
+
+        let (tx, rx) = bounded::<CommitMsg>(4096);
+        let commit_inner = Arc::clone(&inner);
+        let commit_handle = std::thread::Builder::new()
+            .name("iotkv-commit".into())
+            .spawn(move || commit_loop(commit_inner, rx, wal, wal_id, last_seq))
+            .expect("spawn commit thread");
+
+        let bg_handle = if opts.background_compaction {
+            let bg_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("iotkv-bg".into())
+                    .spawn(move || background_loop(bg_inner))
+                    .expect("spawn background thread"),
+            )
+        } else {
+            None
+        };
+
+        Ok(Db {
+            inner,
+            commit_tx: tx,
+            commit_handle: Mutex::new(Some(commit_handle)),
+            bg_handle: Mutex::new(bg_handle),
+        })
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.is_empty() {
+            return Err(Error::invalid("key must not be empty"));
+        }
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.inner.counters.puts.fetch_add(1, Ordering::Relaxed);
+        self.write_batch_internal(batch)
+    }
+
+    /// Deletes `key` (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        if key.is_empty() {
+            return Err(Error::invalid("key must not be empty"));
+        }
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.inner.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        self.write_batch_internal(batch)
+    }
+
+    /// Applies a batch atomically.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.inner
+            .counters
+            .puts
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.write_batch_internal(batch)
+    }
+
+    fn write_batch_internal(&self, batch: WriteBatch) -> Result<()> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(Error::Closed);
+        }
+        self.inner.check_bg_error()?;
+        let (reply_tx, reply_rx) = bounded(1);
+        self.commit_tx
+            .send(CommitMsg::Write {
+                batch,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Closed)?;
+        reply_rx.recv().map_err(|_| Error::Closed)?
+    }
+
+    /// Reads the newest visible value of `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.inner.counters.gets.fetch_add(1, Ordering::Relaxed);
+        let seq = self.inner.visible_seq.load(Ordering::Acquire);
+
+        // 1. Active memtable.
+        let mem = Arc::clone(&self.inner.mem.read());
+        if let Some(hit) = mem.get(key, seq) {
+            return Ok(hit);
+        }
+        // 2. Immutable memtables, newest first.
+        {
+            let imm = self.inner.imm.lock();
+            for frozen in imm.iter().rev() {
+                if let Some(hit) = frozen.mem.get(key, seq) {
+                    return Ok(hit);
+                }
+            }
+        }
+        // 3. Tables.
+        let (version, tables) = {
+            let vset = self.inner.vset.lock();
+            (Arc::clone(&vset.version), vset.tables.clone())
+        };
+        // L0 newest flush first (highest file id).
+        for f in version.levels[0].iter().rev() {
+            if f.overlaps(key, key) {
+                if let Some(hit) = tables[&f.id].get(key, seq)? {
+                    return Ok(hit);
+                }
+            }
+        }
+        for level in version.levels.iter().skip(1) {
+            // Non-overlapping: binary search by largest user key.
+            let idx = level.partition_point(|f| f.largest.user_key.as_ref() < key);
+            if idx < level.len() && level[idx].overlaps(key, key) {
+                if let Some(hit) = tables[&level[idx].id].get(key, seq)? {
+                    return Ok(hit);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ordered scan of user keys in `[start, end)`, newest visible version
+    /// of each, up to `limit` rows.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Bytes, Bytes)>> {
+        if start >= end || limit == 0 {
+            return Ok(Vec::new());
+        }
+        self.inner.counters.scans.fetch_add(1, Ordering::Relaxed);
+        let seq = self.inner.visible_seq.load(Ordering::Acquire);
+        self.inner.register_snapshot(seq);
+        let result = self.scan_at(start, end, limit, seq);
+        self.inner.release_snapshot(seq);
+        result
+    }
+
+    fn scan_at(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+        seq: SeqNo,
+    ) -> Result<Vec<(Bytes, Bytes)>> {
+        let mut sources: Vec<Source> = Vec::new();
+        let mem = Arc::clone(&self.inner.mem.read());
+        sources.push(Source::Vec(mem.range_entries(start, end).into_iter()));
+        {
+            let imm = self.inner.imm.lock();
+            for frozen in imm.iter() {
+                sources.push(Source::Vec(frozen.mem.range_entries(start, end).into_iter()));
+            }
+        }
+        let (version, tables) = {
+            let vset = self.inner.vset.lock();
+            (Arc::clone(&vset.version), vset.tables.clone())
+        };
+        let seek_key = InternalKey::seek_bound(Bytes::copy_from_slice(start), SeqNo::MAX);
+        // `end` is exclusive, but FileMeta::overlaps uses inclusive bounds;
+        // the visibility adapter trims any overshoot.
+        for (level_idx, level) in version.levels.iter().enumerate() {
+            for f in level {
+                if f.overlaps(start, end) {
+                    let mut it = tables[&f.id].iter();
+                    it.seek(&seek_key);
+                    sources.push(Source::Table(it));
+                }
+            }
+            let _ = level_idx;
+        }
+
+        let merged = MergeIterator::new(sources);
+        let mut merged = merged;
+        let visible = VisibleIter::new(
+            &mut merged,
+            seq,
+            Some(Bytes::copy_from_slice(end)),
+        );
+        let rows: Vec<(Bytes, Bytes)> = visible.take(limit).collect();
+        if let Some(e) = merged.take_error() {
+            return Err(e);
+        }
+        Ok(rows)
+    }
+
+    /// Forces the active memtable (and all frozen ones) to disk.
+    pub fn flush(&self) -> Result<()> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(Error::Closed);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.commit_tx
+            .send(CommitMsg::Flush { reply: reply_tx })
+            .map_err(|_| Error::Closed)?;
+        reply_rx.recv().map_err(|_| Error::Closed)??;
+        // Drain any frozen memtables from this thread.
+        while self.inner.flush_one_imm()? {}
+        self.inner.compact_until_quiet()?;
+        Ok(())
+    }
+
+    /// Runs compactions until the tree is quiescent.
+    pub fn compact(&self) -> Result<()> {
+        self.inner.compact_until_quiet()
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let c = &self.inner.counters;
+        let vset = self.inner.vset.lock();
+        let mut level_shape = [0usize; 8];
+        for (i, level) in vset.version.levels.iter().take(8).enumerate() {
+            level_shape[i] = level.len();
+        }
+        DbStats {
+            puts: c.puts.load(Ordering::Relaxed),
+            deletes: c.deletes.load(Ordering::Relaxed),
+            gets: c.gets.load(Ordering::Relaxed),
+            scans: c.scans.load(Ordering::Relaxed),
+            flushes: c.flushes.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            bytes_flushed: c.bytes_flushed.load(Ordering::Relaxed),
+            bytes_compacted: c.bytes_compacted.load(Ordering::Relaxed),
+            wal_syncs: c.wal_syncs.load(Ordering::Relaxed),
+            commit_groups: c.commit_groups.load(Ordering::Relaxed),
+            commit_batches: c.commit_batches.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hit_count(),
+            cache_misses: self.inner.cache.miss_count(),
+            table_count: vset.version.table_count(),
+            level_shape,
+        }
+    }
+
+    /// The directory this database lives in.
+    pub fn path(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Number of live user keys is not tracked; this returns the count of
+    /// versioned entries across all tables plus memtables (an upper bound).
+    pub fn approximate_entries(&self) -> u64 {
+        let mem_entries = self.inner.mem.read().len() as u64;
+        let imm_entries: u64 = self
+            .inner
+            .imm
+            .lock()
+            .iter()
+            .map(|f| f.mem.len() as u64)
+            .sum();
+        let table_entries: u64 = {
+            let vset = self.inner.vset.lock();
+            vset.version
+                .levels
+                .iter()
+                .flatten()
+                .map(|f| f.entry_count)
+                .sum()
+        };
+        mem_entries + imm_entries + table_entries
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+        let _ = self.commit_tx.send(CommitMsg::Shutdown);
+        if let Some(h) = self.commit_handle.lock().take() {
+            let _ = h.join();
+        }
+        self.inner.bg_cv.notify_all();
+        if let Some(h) = self.bg_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The commit thread: group commit, memtable application, rotation.
+fn commit_loop(
+    inner: Arc<DbInner>,
+    rx: Receiver<CommitMsg>,
+    mut wal: LogWriter,
+    mut wal_id: u64,
+    mut last_seq: SeqNo,
+) {
+    let mut group: Vec<(WriteBatch, Sender<Result<()>>)> = Vec::with_capacity(MAX_GROUP);
+    'outer: loop {
+        group.clear();
+        let mut flush_replies: Vec<Sender<Result<()>>> = Vec::new();
+        let mut shutdown = false;
+
+        // Block for the first message, then opportunistically drain.
+        match rx.recv() {
+            Ok(CommitMsg::Write { batch, reply }) => group.push((batch, reply)),
+            Ok(CommitMsg::Flush { reply }) => flush_replies.push(reply),
+            Ok(CommitMsg::Shutdown) | Err(_) => break 'outer,
+        }
+        while group.len() < MAX_GROUP {
+            match rx.try_recv() {
+                Ok(CommitMsg::Write { batch, reply }) => group.push((batch, reply)),
+                Ok(CommitMsg::Flush { reply }) => flush_replies.push(reply),
+                Ok(CommitMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+
+        inner.counters.commit_groups.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .commit_batches
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+
+        // Stage 1: sequence + WAL append for the whole group.
+        let mut commit_err: Option<Error> = None;
+        for (batch, _) in group.iter_mut() {
+            let seq = last_seq + 1;
+            last_seq += batch.len() as u64;
+            batch.set_seq(seq);
+            if let Err(e) = wal.append(batch.encoded()) {
+                commit_err = Some(e);
+                break;
+            }
+        }
+        // Stage 2: one flush/sync per group.
+        if commit_err.is_none() {
+            let sync_result = match inner.opts.sync {
+                SyncMode::None => wal.flush(),
+                SyncMode::GroupCommit => {
+                    inner.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                    wal.sync()
+                }
+                SyncMode::Always => {
+                    inner
+                        .counters
+                        .wal_syncs
+                        .fetch_add(group.len() as u64, Ordering::Relaxed);
+                    wal.sync()
+                }
+            };
+            if let Err(e) = sync_result {
+                commit_err = Some(e);
+            }
+        }
+
+        if let Some(e) = commit_err {
+            for (_, reply) in &group {
+                let _ = reply.send(Err(e.clone()));
+            }
+            for reply in &flush_replies {
+                let _ = reply.send(Err(e.clone()));
+            }
+            continue;
+        }
+
+        // Stage 3: apply to the memtable and publish visibility.
+        let mem = Arc::clone(&inner.mem.read());
+        let mut apply_err: Option<Error> = None;
+        'apply: for (batch, _) in &group {
+            match WriteBatch::decode(batch.encoded()) {
+                Ok((_, ops)) => {
+                    for op in ops {
+                        match op {
+                            Ok(op) => mem.add(&op.key, op.seq, op.kind, &op.value),
+                            Err(e) => {
+                                apply_err = Some(e);
+                                break 'apply;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    apply_err = Some(e);
+                    break 'apply;
+                }
+            }
+        }
+        inner.visible_seq.store(last_seq, Ordering::Release);
+        for (_, reply) in &group {
+            let _ = reply.send(match &apply_err {
+                None => Ok(()),
+                Some(e) => Err(e.clone()),
+            });
+        }
+
+        // Stage 4: rotation. A Flush request forces rotation of a
+        // non-empty memtable regardless of size.
+        let force_rotate = !flush_replies.is_empty() && !mem.is_empty();
+        if mem.approximate_bytes() >= inner.opts.memtable_bytes || force_rotate {
+            let rotate_result = rotate_memtable(&inner, &mut wal, &mut wal_id);
+            if let Err(e) = &rotate_result {
+                *inner.bg_error.lock() = Some(e.clone());
+            }
+            if inner.opts.background_compaction {
+                inner.bg_cv.notify_all();
+                // Write stall: L0 backed up beyond the stall trigger.
+                loop {
+                    let l0 = inner.vset.lock().version.levels[0].len();
+                    let imm_backlog = inner.imm.lock().len();
+                    if l0 < inner.opts.l0_stall_trigger && imm_backlog < 4 {
+                        break;
+                    }
+                    if inner.closed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    inner.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            } else {
+                // Deterministic inline maintenance.
+                let r = inner
+                    .flush_one_imm()
+                    .and_then(|_| inner.compact_until_quiet());
+                if let Err(e) = r {
+                    *inner.bg_error.lock() = Some(e.clone());
+                }
+            }
+        }
+        for reply in &flush_replies {
+            let _ = reply.send(Ok(()));
+        }
+
+        if shutdown {
+            break;
+        }
+    }
+    let _ = wal.flush();
+}
+
+fn rotate_memtable(inner: &Arc<DbInner>, wal: &mut LogWriter, wal_id: &mut u64) -> Result<()> {
+    wal.flush()?;
+    let new_id = inner.alloc_file_id();
+    let new_wal = LogWriter::create(&wal_path(&inner.dir, new_id))?;
+    let old_id = *wal_id;
+    *wal_id = new_id;
+    let old_wal = std::mem::replace(wal, new_wal);
+    drop(old_wal);
+
+    let old_mem = {
+        let mut mem = inner.mem.write();
+        std::mem::replace(&mut *mem, Arc::new(MemTable::new()))
+    };
+    inner.imm.lock().push_back(ImmMem {
+        wal_id: old_id,
+        mem: old_mem,
+    });
+    Ok(())
+}
+
+/// The background maintenance thread: flushes frozen memtables and runs
+/// compactions until the database closes.
+fn background_loop(inner: Arc<DbInner>) {
+    loop {
+        {
+            let mut guard = inner.bg_mutex.lock();
+            if !inner.maintenance_pending() {
+                if inner.closed.load(Ordering::Acquire) {
+                    return;
+                }
+                inner
+                    .bg_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(20));
+            }
+        }
+        if inner.closed.load(Ordering::Acquire) && !inner.maintenance_pending() {
+            return;
+        }
+        let result = inner
+            .flush_one_imm()
+            .and_then(|_| inner.compact_until_quiet());
+        if let Err(e) = result {
+            *inner.bg_error.lock() = Some(e);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "iotkv-db-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = tmpdir("pgd");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+        assert_eq!(db.get(b"k1").unwrap().unwrap().as_ref(), b"v1");
+        db.put(b"k1", b"v1b").unwrap();
+        assert_eq!(db.get(b"k1").unwrap().unwrap().as_ref(), b"v1b");
+        db.delete(b"k1").unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), None);
+        assert_eq!(db.get(b"k2").unwrap().unwrap().as_ref(), b"v2");
+        assert_eq!(db.get(b"missing").unwrap(), None);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let dir = tmpdir("ek");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        assert!(db.put(b"", b"v").is_err());
+        assert!(db.delete(b"").is_err());
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batches_are_atomic_and_ordered() {
+        let dir = tmpdir("batch");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.put(b"b", b"2");
+        b.delete(b"a");
+        db.write(b).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), None, "delete after put in batch wins");
+        assert_eq!(db.get(b"b").unwrap().unwrap().as_ref(), b"2");
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn survives_flush_and_compaction() {
+        let dir = tmpdir("fc");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        let n = 3000;
+        for i in 0..n {
+            db.put(
+                format!("key-{i:06}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "small memtable must have flushed");
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                db.get(format!("key-{i:06}").as_bytes()).unwrap().unwrap(),
+                Bytes::from(format!("value-{i}")),
+                "key {i}"
+            );
+        }
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_spans_memtable_and_tables() {
+        let dir = tmpdir("scan");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        for i in 0..2000 {
+            db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        // Overwrite a few in the (new) memtable.
+        db.put(b"key-000100", b"fresh").unwrap();
+        db.delete(b"key-000101").unwrap();
+
+        let rows = db.scan(b"key-000099", b"key-000104", usize::MAX).unwrap();
+        let keys: Vec<_> = rows
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["key-000099", "key-000100", "key-000102", "key-000103"]
+        );
+        assert_eq!(rows[1].1.as_ref(), b"fresh");
+
+        // Limit honoured.
+        let rows = db.scan(b"key-", b"key-999999", 5).unwrap();
+        assert_eq!(rows.len(), 5);
+
+        // Degenerate ranges.
+        assert!(db.scan(b"z", b"a", 10).unwrap().is_empty());
+        assert!(db.scan(b"a", b"z", 0).unwrap().is_empty());
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("recover");
+        {
+            let db = Db::open(&dir, Options::small()).unwrap();
+            db.put(b"durable", b"yes").unwrap();
+            db.put(b"mutated", b"v1").unwrap();
+            db.put(b"mutated", b"v2").unwrap();
+            db.delete(b"durable2").unwrap();
+            // No flush: data only in WAL + memtable.
+        }
+        let db = Db::open(&dir, Options::small()).unwrap();
+        assert_eq!(db.get(b"durable").unwrap().unwrap().as_ref(), b"yes");
+        assert_eq!(db.get(b"mutated").unwrap().unwrap().as_ref(), b"v2");
+        assert_eq!(db.get(b"durable2").unwrap(), None);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_after_flush_uses_manifest() {
+        let dir = tmpdir("recover2");
+        {
+            let db = Db::open(&dir, Options::small()).unwrap();
+            for i in 0..2000 {
+                db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
+            }
+            db.flush().unwrap();
+            db.put(b"post-flush", b"tail").unwrap();
+        }
+        let db = Db::open(&dir, Options::small()).unwrap();
+        assert_eq!(db.get(b"key-000000").unwrap().unwrap().as_ref(), b"v");
+        assert_eq!(db.get(b"key-001999").unwrap().unwrap().as_ref(), b"v");
+        assert_eq!(db.get(b"post-flush").unwrap().unwrap().as_ref(), b"tail");
+        let rows = db.scan(b"key-", b"key-zzz", usize::MAX).unwrap();
+        assert_eq!(rows.len(), 2000);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deletes_survive_compaction() {
+        let dir = tmpdir("delcompact");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        for i in 0..1000 {
+            db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        for i in (0..1000).step_by(2) {
+            db.delete(format!("key-{i:06}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact().unwrap();
+        for i in 0..1000 {
+            let got = db.get(format!("key-{i:06}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert!(got.is_none(), "key {i} should be deleted");
+            } else {
+                assert!(got.is_some(), "key {i} should exist");
+            }
+        }
+        let rows = db.scan(b"key-", b"key-zzz", usize::MAX).unwrap();
+        assert_eq!(rows.len(), 500);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit() {
+        let dir = tmpdir("conc");
+        let mut opts = Options::small();
+        opts.memtable_bytes = 1 << 20; // avoid rotation noise
+        opts.background_compaction = true;
+        let db = Arc::new(Db::open(&dir, opts).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        db.put(format!("t{t}-k{i:04}").as_bytes(), b"v").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = db.stats();
+        assert_eq!(stats.puts, 4000);
+        assert!(
+            stats.commit_groups < stats.commit_batches,
+            "some batches were grouped: {} groups for {} batches",
+            stats.commit_groups,
+            stats.commit_batches
+        );
+        for t in 0..8 {
+            for i in (0..500).step_by(50) {
+                assert!(db
+                    .get(format!("t{t}-k{i:04}").as_bytes())
+                    .unwrap()
+                    .is_some());
+            }
+        }
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn background_mode_converges() {
+        let dir = tmpdir("bg");
+        let mut opts = Options::small();
+        opts.background_compaction = true;
+        let db = Db::open(&dir, opts).unwrap();
+        for i in 0..5000 {
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 32]).unwrap();
+        }
+        // Wait for maintenance to settle.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while db.inner.maintenance_pending() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        for i in (0..5000).step_by(331) {
+            assert!(db.get(format!("key-{i:06}").as_bytes()).unwrap().is_some());
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 0);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn size_tiered_mode_works() {
+        let dir = tmpdir("tiered");
+        let mut opts = Options::small();
+        opts.compaction = CompactionStyle::SizeTiered;
+        let db = Db::open(&dir, opts).unwrap();
+        for i in 0..4000 {
+            db.put(format!("key-{i:06}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert!(stats.compactions > 0, "tiered compactions ran");
+        for i in (0..4000).step_by(173) {
+            assert!(db.get(format!("key-{i:06}").as_bytes()).unwrap().is_some());
+        }
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let dir = tmpdir("stats");
+        let db = Db::open(&dir, Options::small()).unwrap();
+        db.put(b"a", b"1").unwrap();
+        db.get(b"a").unwrap();
+        db.get(b"b").unwrap();
+        db.scan(b"a", b"z", 10).unwrap();
+        db.delete(b"a").unwrap();
+        let s = db.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.scans, 1);
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_is_idempotent() {
+        let dir = tmpdir("reopen");
+        for round in 0..3 {
+            let db = Db::open(&dir, Options::small()).unwrap();
+            db.put(format!("round-{round}").as_bytes(), b"x").unwrap();
+            for prev in 0..=round {
+                assert!(
+                    db.get(format!("round-{prev}").as_bytes()).unwrap().is_some(),
+                    "round {prev} data visible at round {round}"
+                );
+            }
+            drop(db);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! Little-endian fixed-width and LEB128 varint encoding primitives shared
+//! by the WAL, SSTable, and manifest formats.
+
+use crate::{Error, Result};
+
+/// Appends a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` from the front of `src`, advancing it.
+#[inline]
+pub fn get_u32(src: &mut &[u8]) -> Result<u32> {
+    if src.len() < 4 {
+        return Err(Error::corruption("truncated u32"));
+    }
+    let (head, rest) = src.split_at(4);
+    *src = rest;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Reads a `u64` from the front of `src`, advancing it.
+#[inline]
+pub fn get_u64(src: &mut &[u8]) -> Result<u64> {
+    if src.len() < 8 {
+        return Err(Error::corruption("truncated u64"));
+    }
+    let (head, rest) = src.split_at(8);
+    *src = rest;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Appends a LEB128 varint.
+#[inline]
+pub fn put_varint(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Reads a LEB128 varint from the front of `src`, advancing it.
+#[inline]
+pub fn get_varint(src: &mut &[u8]) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    let mut consumed = 0usize;
+    for &b in src.iter() {
+        consumed += 1;
+        if shift >= 64 {
+            return Err(Error::corruption("varint overflow"));
+        }
+        result |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            *src = &src[consumed..];
+            return Ok(result);
+        }
+        shift += 7;
+    }
+    Err(Error::corruption("truncated varint"))
+}
+
+/// Appends a varint-length-prefixed byte slice.
+#[inline]
+pub fn put_len_prefixed(dst: &mut Vec<u8>, data: &[u8]) {
+    put_varint(dst, data.len() as u64);
+    dst.extend_from_slice(data);
+}
+
+/// Reads a varint-length-prefixed byte slice from the front of `src`.
+#[inline]
+pub fn get_len_prefixed<'a>(src: &mut &'a [u8]) -> Result<&'a [u8]> {
+    let len = get_varint(src)? as usize;
+    if src.len() < len {
+        return Err(Error::corruption("truncated length-prefixed slice"));
+    }
+    let (head, rest) = src.split_at(len);
+    *src = rest;
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        let mut s = buf.as_slice();
+        assert_eq!(get_u32(&mut s).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut s).unwrap(), u64::MAX - 7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(get_varint(&mut s).unwrap(), v, "value {v}");
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let mut s: &[u8] = &[0x80, 0x80]; // unterminated varint
+        assert!(get_varint(&mut s).is_err());
+        let mut s: &[u8] = &[1, 2, 3];
+        assert!(get_u32(&mut s).is_err());
+        let mut s: &[u8] = &[5, b'a', b'b']; // claims 5 bytes, has 2
+        assert!(get_len_prefixed(&mut s).is_err());
+    }
+
+    #[test]
+    fn len_prefixed_round_trip() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"hello");
+        put_len_prefixed(&mut buf, b"");
+        put_len_prefixed(&mut buf, &[0u8; 300]);
+        let mut s = buf.as_slice();
+        assert_eq!(get_len_prefixed(&mut s).unwrap(), b"hello");
+        assert_eq!(get_len_prefixed(&mut s).unwrap(), b"");
+        assert_eq!(get_len_prefixed(&mut s).unwrap().len(), 300);
+        assert!(s.is_empty());
+    }
+}

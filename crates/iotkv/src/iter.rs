@@ -1,0 +1,280 @@
+//! Heap-based merge iteration across heterogeneous sources (memtable
+//! snapshots and table files) plus the visibility adapter that turns a
+//! multi-version internal-key stream into a user-facing `(key, value)`
+//! stream.
+
+use crate::memtable::InternalKey;
+use crate::sstable::TableIterator;
+use crate::{SeqNo, ValueKind};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A source of internal-key-ordered entries.
+pub enum Source {
+    /// An in-memory snapshot (memtable or immutable memtable).
+    Vec(std::vec::IntoIter<(InternalKey, Bytes)>),
+    /// An on-disk table.
+    Table(TableIterator),
+}
+
+impl Iterator for Source {
+    type Item = (InternalKey, Bytes);
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Source::Vec(it) => it.next(),
+            Source::Table(it) => it.next(),
+        }
+    }
+}
+
+impl Source {
+    /// Surfaces a deferred I/O error, if the source supports them.
+    pub fn take_error(&mut self) -> Option<crate::Error> {
+        match self {
+            Source::Vec(_) => None,
+            Source::Table(it) => it.take_error(),
+        }
+    }
+}
+
+struct HeapItem {
+    key: InternalKey,
+    value: Bytes,
+    src: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.src == other.src
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.src.cmp(&other.src))
+    }
+}
+
+/// Merges N ordered sources into one ordered stream of internal-key
+/// entries. Equal internal keys (which cannot normally occur — sequence
+/// numbers are unique) tie-break on source index for determinism.
+pub struct MergeIterator {
+    sources: Vec<Source>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    error: Option<crate::Error>,
+}
+
+impl MergeIterator {
+    pub fn new(mut sources: Vec<Source>) -> MergeIterator {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        let mut error = None;
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some((key, value)) = src.next() {
+                heap.push(Reverse(HeapItem { key, value, src: i }));
+            }
+            if let Some(e) = src.take_error() {
+                error.get_or_insert(e);
+            }
+        }
+        MergeIterator {
+            sources,
+            heap,
+            error,
+        }
+    }
+
+    pub fn take_error(&mut self) -> Option<crate::Error> {
+        self.error.take()
+    }
+}
+
+impl Iterator for MergeIterator {
+    type Item = (InternalKey, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.error.is_some() {
+            return None;
+        }
+        let Reverse(item) = self.heap.pop()?;
+        let src = &mut self.sources[item.src];
+        if let Some((key, value)) = src.next() {
+            self.heap.push(Reverse(HeapItem {
+                key,
+                value,
+                src: item.src,
+            }));
+        }
+        if let Some(e) = src.take_error() {
+            self.error.get_or_insert(e);
+        }
+        Some((item.key, item.value))
+    }
+}
+
+/// Adapts a merged, internal-key-ordered, multi-version stream into the
+/// newest-visible-version-per-user-key stream a scan returns.
+///
+/// * entries with `seq > snapshot` are invisible,
+/// * of the visible versions of a user key, only the newest is yielded,
+/// * tombstones suppress the key entirely,
+/// * iteration stops at `end` (exclusive) when provided.
+pub struct VisibleIter<I: Iterator<Item = (InternalKey, Bytes)>> {
+    inner: I,
+    snapshot: SeqNo,
+    end: Option<Bytes>,
+    last_user_key: Option<Bytes>,
+}
+
+impl<I: Iterator<Item = (InternalKey, Bytes)>> VisibleIter<I> {
+    pub fn new(inner: I, snapshot: SeqNo, end: Option<Bytes>) -> Self {
+        VisibleIter {
+            inner,
+            snapshot,
+            end,
+            last_user_key: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = (InternalKey, Bytes)>> Iterator for VisibleIter<I> {
+    type Item = (Bytes, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (ik, value) = self.inner.next()?;
+            if let Some(end) = &self.end {
+                if ik.user_key.as_ref() >= end.as_ref() {
+                    return None;
+                }
+            }
+            if ik.seq > self.snapshot {
+                continue; // not yet visible at this snapshot
+            }
+            if self.last_user_key.as_deref() == Some(ik.user_key.as_ref()) {
+                continue; // an older version of a key we already emitted/skipped
+            }
+            self.last_user_key = Some(ik.user_key.clone());
+            match ik.kind {
+                ValueKind::Put => return Some((ik.user_key, value)),
+                ValueKind::Delete => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(key: &str, seq: u64, kind: ValueKind, val: &str) -> (InternalKey, Bytes) {
+        (
+            InternalKey::new(Bytes::copy_from_slice(key.as_bytes()), seq, kind),
+            Bytes::copy_from_slice(val.as_bytes()),
+        )
+    }
+
+    #[test]
+    fn merge_interleaves_sources() {
+        let s1 = vec![
+            e("a", 1, ValueKind::Put, "1"),
+            e("c", 1, ValueKind::Put, "1"),
+        ];
+        let s2 = vec![
+            e("b", 2, ValueKind::Put, "2"),
+            e("d", 2, ValueKind::Put, "2"),
+        ];
+        let merged: Vec<_> = MergeIterator::new(vec![
+            Source::Vec(s1.into_iter()),
+            Source::Vec(s2.into_iter()),
+        ])
+        .map(|(ik, _)| ik.user_key)
+        .collect();
+        assert_eq!(
+            merged,
+            vec![
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"c"),
+                Bytes::from_static(b"d")
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_orders_versions_newest_first() {
+        let newer = vec![e("k", 9, ValueKind::Put, "new")];
+        let older = vec![e("k", 3, ValueKind::Put, "old")];
+        let merged: Vec<_> = MergeIterator::new(vec![
+            Source::Vec(older.into_iter()),
+            Source::Vec(newer.into_iter()),
+        ])
+        .collect();
+        assert_eq!(merged[0].0.seq, 9);
+        assert_eq!(merged[1].0.seq, 3);
+    }
+
+    #[test]
+    fn visible_iter_picks_newest_and_skips_tombstones() {
+        let stream = vec![
+            e("a", 9, ValueKind::Put, "a9"),
+            e("a", 3, ValueKind::Put, "a3"),
+            e("b", 8, ValueKind::Delete, ""),
+            e("b", 2, ValueKind::Put, "b2"),
+            e("c", 5, ValueKind::Put, "c5"),
+        ];
+        let out: Vec<_> = VisibleIter::new(stream.into_iter(), u64::MAX, None)
+            .map(|(k, v)| (k, v))
+            .collect();
+        assert_eq!(
+            out,
+            vec![
+                (Bytes::from_static(b"a"), Bytes::from_static(b"a9")),
+                (Bytes::from_static(b"c"), Bytes::from_static(b"c5")),
+            ]
+        );
+    }
+
+    #[test]
+    fn visible_iter_respects_snapshot() {
+        let stream = vec![
+            e("a", 9, ValueKind::Delete, ""),
+            e("a", 3, ValueKind::Put, "a3"),
+        ];
+        // At snapshot 5 the tombstone (seq 9) is invisible: a3 shows.
+        let out: Vec<_> = VisibleIter::new(stream.clone().into_iter(), 5, None).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.as_ref(), b"a3");
+        // At snapshot 9 the delete wins.
+        let out: Vec<_> = VisibleIter::new(stream.into_iter(), 9, None).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn visible_iter_stops_at_end() {
+        let stream = vec![
+            e("a", 1, ValueKind::Put, "1"),
+            e("b", 2, ValueKind::Put, "2"),
+            e("c", 3, ValueKind::Put, "3"),
+        ];
+        let out: Vec<_> =
+            VisibleIter::new(stream.into_iter(), u64::MAX, Some(Bytes::from_static(b"c")))
+                .collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].0.as_ref(), b"b");
+    }
+
+    #[test]
+    fn empty_merge() {
+        let mut m = MergeIterator::new(vec![]);
+        assert!(m.next().is_none());
+        assert!(m.take_error().is_none());
+    }
+}

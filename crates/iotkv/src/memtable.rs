@@ -1,0 +1,232 @@
+//! The in-memory write buffer.
+//!
+//! A [`MemTable`] is an ordered map from *internal keys* — `(user key,
+//! sequence number, kind)` — to values. Internal keys order by user key
+//! ascending, then sequence number **descending**, so a forward scan visits
+//! the newest version of each user key first; this is the same trick
+//! LevelDB/HBase use to make multi-version reads a single ordered seek.
+//!
+//! The table is guarded by a `parking_lot::RwLock`. Writes are already
+//! serialised by the WAL commit pipeline, so the lock is effectively
+//! uncontended on the write side; readers share it.
+
+use crate::{SeqNo, ValueKind};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Internal key: user key + version metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InternalKey {
+    pub user_key: Bytes,
+    pub seq: SeqNo,
+    pub kind: ValueKind,
+}
+
+impl InternalKey {
+    pub fn new(user_key: impl Into<Bytes>, seq: SeqNo, kind: ValueKind) -> InternalKey {
+        InternalKey {
+            user_key: user_key.into(),
+            seq,
+            kind,
+        }
+    }
+
+    /// The largest internal key for `user_key` at or below `seq` — used as
+    /// a lower bound when seeking (sequence numbers sort descending).
+    pub fn seek_bound(user_key: impl Into<Bytes>, seq: SeqNo) -> InternalKey {
+        // kind Put > Delete; for equal (key, seq) we must not skip either,
+        // so the bound uses the greater kind.
+        InternalKey::new(user_key, seq, ValueKind::Put)
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            .then_with(|| other.seq.cmp(&self.seq)) // seq DESC
+            .then_with(|| (other.kind as u8).cmp(&(self.kind as u8))) // Put before Delete
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An ordered, versioned in-memory table.
+pub struct MemTable {
+    map: RwLock<BTreeMap<InternalKey, Bytes>>,
+    approx_bytes: AtomicUsize,
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTable {
+    pub fn new() -> MemTable {
+        MemTable {
+            map: RwLock::new(BTreeMap::new()),
+            approx_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts a versioned entry. `value` is ignored for tombstones.
+    pub fn add(&self, key: &[u8], seq: SeqNo, kind: ValueKind, value: &[u8]) {
+        let ik = InternalKey::new(Bytes::copy_from_slice(key), seq, kind);
+        let v = match kind {
+            ValueKind::Put => Bytes::copy_from_slice(value),
+            ValueKind::Delete => Bytes::new(),
+        };
+        // 24 bytes of per-entry bookkeeping overhead approximation.
+        let sz = key.len() + v.len() + 24;
+        self.map.write().insert(ik, v);
+        self.approx_bytes.fetch_add(sz, Ordering::Relaxed);
+    }
+
+    /// Looks up the newest version of `key` visible at `snapshot_seq`.
+    ///
+    /// Returns:
+    /// * `None` — the memtable holds no visible version (check older sources),
+    /// * `Some(None)` — the newest visible version is a tombstone,
+    /// * `Some(Some(v))` — a live value.
+    pub fn get(&self, key: &[u8], snapshot_seq: SeqNo) -> Option<Option<Bytes>> {
+        let map = self.map.read();
+        let bound = InternalKey::seek_bound(Bytes::copy_from_slice(key), snapshot_seq);
+        let (ik, v) = map
+            .range((Bound::Included(bound), Bound::Unbounded))
+            .next()?;
+        if ik.user_key.as_ref() != key {
+            return None;
+        }
+        debug_assert!(ik.seq <= snapshot_seq);
+        match ik.kind {
+            ValueKind::Put => Some(Some(v.clone())),
+            ValueKind::Delete => Some(None),
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Snapshots all entries with user keys in `[start, end)` (internal-key
+    /// order, all versions), for the merge iterator.
+    ///
+    /// Cloning is cheap: keys/values are `Bytes` handles.
+    pub fn range_entries(&self, start: &[u8], end: &[u8]) -> Vec<(InternalKey, Bytes)> {
+        let map = self.map.read();
+        let lo = InternalKey::new(Bytes::copy_from_slice(start), SeqNo::MAX, ValueKind::Put);
+        map.range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(|(ik, _)| ik.user_key.as_ref() < end)
+            .map(|(ik, v)| (ik.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Snapshots the entire contents in internal-key order (for flushing).
+    pub fn all_entries(&self) -> Vec<(InternalKey, Bytes)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(ik, v)| (ik.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_key_ordering() {
+        let a1 = InternalKey::new(&b"a"[..], 1, ValueKind::Put);
+        let a5 = InternalKey::new(&b"a"[..], 5, ValueKind::Put);
+        let b1 = InternalKey::new(&b"b"[..], 1, ValueKind::Put);
+        // Same user key: higher seq sorts FIRST.
+        assert!(a5 < a1);
+        // Different user keys: lexicographic.
+        assert!(a1 < b1);
+        assert!(a5 < b1);
+    }
+
+    #[test]
+    fn get_returns_latest_visible_version() {
+        let mt = MemTable::new();
+        mt.add(b"k", 1, ValueKind::Put, b"v1");
+        mt.add(b"k", 5, ValueKind::Put, b"v5");
+        mt.add(b"k", 9, ValueKind::Delete, b"");
+
+        // Snapshot below all versions: invisible.
+        assert_eq!(mt.get(b"k", 0), None);
+        // Snapshot between versions.
+        assert_eq!(mt.get(b"k", 1).unwrap().unwrap().as_ref(), b"v1");
+        assert_eq!(mt.get(b"k", 4).unwrap().unwrap().as_ref(), b"v1");
+        assert_eq!(mt.get(b"k", 5).unwrap().unwrap().as_ref(), b"v5");
+        assert_eq!(mt.get(b"k", 8).unwrap().unwrap().as_ref(), b"v5");
+        // Tombstone is visible at its seq and later.
+        assert_eq!(mt.get(b"k", 9), Some(None));
+        assert_eq!(mt.get(b"k", 100), Some(None));
+        // Unknown key.
+        assert_eq!(mt.get(b"nope", 100), None);
+    }
+
+    #[test]
+    fn get_does_not_bleed_into_neighbouring_keys() {
+        let mt = MemTable::new();
+        mt.add(b"a", 1, ValueKind::Put, b"va");
+        mt.add(b"c", 2, ValueKind::Put, b"vc");
+        assert_eq!(mt.get(b"b", 100), None);
+        // Prefix of an existing key is a different key.
+        mt.add(b"abc", 3, ValueKind::Put, b"vabc");
+        assert_eq!(mt.get(b"ab", 100), None);
+    }
+
+    #[test]
+    fn range_entries_bounds() {
+        let mt = MemTable::new();
+        for (k, s) in [("a", 1u64), ("b", 2), ("b", 3), ("c", 4), ("d", 5)] {
+            mt.add(k.as_bytes(), s, ValueKind::Put, b"x");
+        }
+        let got = mt.range_entries(b"b", b"d");
+        let keys: Vec<_> = got
+            .iter()
+            .map(|(ik, _)| (ik.user_key.clone(), ik.seq))
+            .collect();
+        // b's versions newest-first, then c.
+        assert_eq!(
+            keys,
+            vec![
+                (Bytes::from_static(b"b"), 3),
+                (Bytes::from_static(b"b"), 2),
+                (Bytes::from_static(b"c"), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_accounting_grows() {
+        let mt = MemTable::new();
+        assert_eq!(mt.approximate_bytes(), 0);
+        mt.add(b"key", 1, ValueKind::Put, &[0u8; 100]);
+        assert!(mt.approximate_bytes() >= 103);
+        let before = mt.approximate_bytes();
+        mt.add(b"key2", 2, ValueKind::Delete, b"");
+        assert!(mt.approximate_bytes() > before);
+    }
+}

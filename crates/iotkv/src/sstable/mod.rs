@@ -1,0 +1,48 @@
+//! Immutable, block-based sorted tables (the LSM equivalent of HBase's
+//! HFiles).
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! +---------------------+
+//! | data block 0        |  entries in internal-key order
+//! | crc32c(block):u32   |
+//! | data block 1 ...    |
+//! +---------------------+
+//! | bloom filter block  |  over user keys of the whole table
+//! | crc32c:u32          |
+//! +---------------------+
+//! | index block         |  (last internal key, offset, len) per data block
+//! | crc32c:u32          |
+//! +---------------------+
+//! | footer (40 bytes)   |  filter handle, index handle, magic
+//! +---------------------+
+//! ```
+//!
+//! Data-block entry encoding (no prefix compression — IoT keys share long
+//! prefixes but stay small, and plain entries keep the reader branch-free):
+//!
+//! ```text
+//! entry := varint(user_key_len) user_key seq:u64 kind:u8 varint(value_len) value
+//! ```
+
+pub mod block;
+pub mod bloom;
+pub mod builder;
+pub mod reader;
+
+pub use builder::TableBuilder;
+pub use reader::{Table, TableIterator};
+
+/// Magic number terminating every table file.
+pub const TABLE_MAGIC: u64 = 0x1075_C1A7_B0_D47A_u64;
+
+/// Footer length: two (offset,len) u64 pairs + magic.
+pub const FOOTER_LEN: usize = 40;
+
+/// Byte location of a block within a table file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHandle {
+    pub offset: u64,
+    pub len: u64,
+}

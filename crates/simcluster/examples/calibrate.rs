@@ -1,0 +1,77 @@
+//! Calibration sweep: prints the model's Table I / Table III counterparts
+//! next to the paper's measured values.
+
+use simcluster::{run_execution, ModelParams};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20); // rows divided by this factor
+
+    // Paper Table I (8 nodes): (P, rows millions, measured IoTps, per-sensor).
+    let table1: &[(usize, u64, f64, f64)] = &[
+        (1, 50, 9_806.0, 49.0),
+        (2, 60, 26_999.0, 67.5),
+        (4, 100, 56_822.0, 71.0),
+        (8, 240, 84_602.0, 52.9),
+        (16, 400, 133_940.0, 41.9),
+        (32, 400, 186_109.0, 29.1),
+        (48, 400, 182_815.0, 19.0),
+    ];
+    println!("== Table I (8 nodes), rows scaled 1/{scale} ==");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8} {:>6} {:>8}",
+        "P", "IoTps(sim)", "IoTps(ppr)", "s/s(sim)", "s/s(ppr)", "qavg(ms)", "qp95(ms)", "qmax", "rows/q", "cv", "spread%"
+    );
+    for &(p, rows_m, paper_iotps, paper_ps) in table1 {
+        let params = ModelParams::hbase_testbed(8);
+        let kvps = rows_m * 1_000_000 / scale;
+        let m = run_execution(&params, p, kvps);
+        let iotps = m.ingested as f64 / m.elapsed_secs;
+        let ps = iotps / (p as f64 * 200.0);
+        let s = m.query_latency_us.summary();
+        let min = m.driver_ingest_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = m.driver_ingest_secs.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:>3} {:>12.0} {:>12.0} {:>8.1} {:>8.1} | {:>9.1} {:>9.1} {:>8.0} {:>8.0} {:>6.2} {:>8.1}",
+            p, iotps, paper_iotps, ps, paper_ps,
+            s.mean / 1e3, s.p95 as f64 / 1e3, s.max as f64 / 1e3,
+            m.rows_per_query.mean(), s.cv,
+            100.0 * (max - min) / max,
+        );
+    }
+
+    // Paper Table III: per-node-count sweeps.
+    for nodes in [2usize, 4] {
+        let paper: &[(usize, f64)] = if nodes == 2 {
+            &[
+                (1, 21_909.0),
+                (2, 38_939.0),
+                (4, 63_076.0),
+                (8, 105_877.0),
+                (16, 114_508.0),
+                (32, 114_764.0),
+                (48, 115_486.0),
+            ]
+        } else {
+            &[
+                (1, 15_706.0),
+                (2, 33_612.0),
+                (4, 57_113.0),
+                (8, 90_160.0),
+                (16, 125_603.0),
+                (32, 132_100.0),
+                (48, 134_248.0),
+            ]
+        };
+        println!("== Table III ({nodes} nodes) ==");
+        for &(p, paper_iotps) in paper {
+            let params = ModelParams::hbase_testbed(nodes);
+            let kvps = (p as u64 * 10_000_000 / scale).max(1_000_000);
+            let m = run_execution(&params, p, kvps);
+            let iotps = m.ingested as f64 / m.elapsed_secs;
+            println!("P={p:>3}  sim={iotps:>10.0}  paper={paper_iotps:>10.0}  ratio={:.2}", iotps / paper_iotps);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The benchmark-level harness over the model: warm-up + measured
+//! executions and the derived metrics the paper tabulates.
+
+use crate::model::{run_execution, ExecutionMetrics};
+use crate::params::ModelParams;
+
+/// Metrics of one workload execution, in the units the paper reports.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    pub elapsed_secs: f64,
+    pub ingested: u64,
+    /// System-wide ingestion rate (the IoTps metric).
+    pub iotps: f64,
+    /// Average per-sensor ingestion rate (kvps/s per sensor).
+    pub per_sensor_iotps: f64,
+    /// Per-substation ingest completion times (seconds).
+    pub driver_ingest_secs: Vec<f64>,
+    /// Query latency stats (milliseconds).
+    pub query_count: u64,
+    pub query_avg_ms: f64,
+    pub query_min_ms: f64,
+    pub query_max_ms: f64,
+    pub query_p95_ms: f64,
+    pub query_cv: f64,
+    /// Average kvps aggregated per query (Fig 12).
+    pub avg_rows_per_query: f64,
+    pub mean_node_utilisation: f64,
+    pub pauses: u64,
+}
+
+impl RunMetrics {
+    fn from_execution(m: &ExecutionMetrics, substations: usize, sensors: u64) -> RunMetrics {
+        let iotps = m.ingested as f64 / m.elapsed_secs;
+        let s = m.query_latency_us.summary();
+        RunMetrics {
+            elapsed_secs: m.elapsed_secs,
+            ingested: m.ingested,
+            iotps,
+            per_sensor_iotps: iotps / (substations as f64 * sensors as f64),
+            driver_ingest_secs: m.driver_ingest_secs.clone(),
+            query_count: s.count,
+            query_avg_ms: s.mean / 1e3,
+            query_min_ms: s.min as f64 / 1e3,
+            query_max_ms: s.max as f64 / 1e3,
+            query_p95_ms: s.p95 as f64 / 1e3,
+            query_cv: s.cv,
+            avg_rows_per_query: m.rows_per_query.mean(),
+            mean_node_utilisation: m.mean_node_utilisation,
+            pauses: m.pauses,
+        }
+    }
+
+    pub fn min_ingest_secs(&self) -> f64 {
+        self.driver_ingest_secs
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max_ingest_secs(&self) -> f64 {
+        self.driver_ingest_secs.iter().cloned().fold(0.0, f64::max)
+    }
+
+    pub fn avg_ingest_secs(&self) -> f64 {
+        self.driver_ingest_secs.iter().sum::<f64>() / self.driver_ingest_secs.len() as f64
+    }
+
+    /// Relative fastest-vs-slowest ingest difference (Table II's last
+    /// column).
+    pub fn ingest_spread(&self) -> f64 {
+        let max = self.max_ingest_secs();
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - self.min_ingest_secs()) / max
+        }
+    }
+}
+
+/// A warm-up + measured pair (one TPCx-IoT benchmark iteration).
+#[derive(Clone, Debug)]
+pub struct IterationMetrics {
+    pub warmup: RunMetrics,
+    pub measured: RunMetrics,
+}
+
+/// Simulates one benchmark iteration: a warm-up execution followed by a
+/// measured execution (fresh seed each, as successive real runs differ by
+/// noise, not by state — the system is cleaned between iterations).
+pub fn run_iteration(
+    params: &ModelParams,
+    substations: usize,
+    total_kvps: u64,
+) -> IterationMetrics {
+    let mut warm = params.clone();
+    warm.seed = simkit::rng::derive_seed(params.seed, 0xAA);
+    let mut meas = params.clone();
+    meas.seed = simkit::rng::derive_seed(params.seed, 0xBB);
+    let w = run_execution(&warm, substations, total_kvps);
+    let m = run_execution(&meas, substations, total_kvps);
+    IterationMetrics {
+        warmup: RunMetrics::from_execution(&w, substations, params.sensors_per_substation),
+        measured: RunMetrics::from_execution(&m, substations, params.sensors_per_substation),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_produces_paperlike_units() {
+        let params = ModelParams::hbase_testbed(8);
+        let it = run_iteration(&params, 2, 600_000);
+        let m = &it.measured;
+        assert_eq!(m.ingested, 600_000);
+        assert!(m.iotps > 0.0);
+        // per-sensor = system / (P * 200).
+        let expect = m.iotps / 400.0;
+        assert!((m.per_sensor_iotps - expect).abs() < 1e-9);
+        assert_eq!(m.driver_ingest_secs.len(), 2);
+        assert!(m.ingest_spread() >= 0.0 && m.ingest_spread() < 1.0);
+        assert!(m.query_count > 200);
+        assert!(m.query_min_ms <= m.query_avg_ms && m.query_avg_ms <= m.query_max_ms);
+        // Warm-up and measured differ only by noise.
+        let ratio = it.warmup.elapsed_secs / it.measured.elapsed_secs;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

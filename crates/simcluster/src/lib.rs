@@ -1,0 +1,32 @@
+//! `simcluster` — a calibrated discrete-event simulation (DES) of an
+//! HBase-like IoT gateway cluster.
+//!
+//! The paper's evaluation ran HBase 1.2.0 on 2/4/8-node Cisco UCS blade
+//! clusters for ≥1800 s per workload execution, ingesting up to 400
+//! million 1 KB sensor readings per run. This crate regenerates those
+//! experiments in seconds of real time by simulating the cluster's
+//! queueing behaviour on a virtual clock (see [`model`]) with constants
+//! calibrated to the paper's measured operating points (see [`params`]).
+//!
+//! What is mechanistic vs. what is calibrated:
+//!
+//! * *Mechanistic* (produces the paper's shapes): closed-loop client
+//!   threads, per-node FIFO queues with group-commit batch service,
+//!   synchronous replication fan-out `min(3, N)`, hash placement with
+//!   write locality, compaction/GC pause injection, utilisation-dependent
+//!   read amplification.
+//! * *Calibrated* (absolute levels): per-op network cost vs. node count,
+//!   RPC handler amortisation, per-kvp service cost vs. node count, query
+//!   seek/row costs, pause rate and duration.
+//!
+//! The top-level entry points are [`model::run_execution`] (one workload
+//! execution) and [`experiment::run_iteration`] (warm-up + measured pair,
+//! as the TPCx-IoT execution rules require).
+
+pub mod experiment;
+pub mod model;
+pub mod params;
+
+pub use experiment::{run_iteration, IterationMetrics, RunMetrics};
+pub use model::{run_execution, ExecutionMetrics};
+pub use params::ModelParams;

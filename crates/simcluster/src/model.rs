@@ -1,0 +1,620 @@
+//! The discrete-event cluster model.
+//!
+//! ## Mechanics
+//!
+//! * **Client side** — each of the `P` driver instances (power
+//!   substations) runs `threads_per_driver` closed-loop threads. A thread
+//!   issues one *chunk* of `chunk_kvps` consecutive synchronous inserts at
+//!   a time; its client-path time is `chunk × (net(N) + handler(conc))`,
+//!   where `handler` amortises with cluster-wide concurrency (adaptive RPC
+//!   batching — the super-linear region), then waits for the server side.
+//! * **Server side** — the chunk becomes one job on each of
+//!   `min(rf, N)` node queues (synchronous replication). Nodes are FIFO
+//!   batch servers with **group commit**: a service round takes everything
+//!   queued (capped), costing `group_commit + kvps · kvp_cost(N)`.
+//! * **Placement** — a fraction `locality` of a driver's writes hit its
+//!   home node (hash placement); the remainder spread uniformly. Uneven
+//!   home assignment produces the per-substation ingest skew of Table II.
+//! * **Pauses** — nodes pause for a lognormal duration every
+//!   `pause_every_kvps` serviced kvps (major compaction / GC), producing
+//!   the second-scale query maxima and CV > 1 of Fig 14.
+//! * **Queries** — five per 10,000 ingested kvps per driver, reading the
+//!   last 5 s of one sensor against a random historical 5 s window. Query
+//!   latency = seek + rows·row_cost, inflated by the target node's write
+//!   utilisation (compaction debt) and by any in-progress pause.
+
+use crate::params::ModelParams;
+use simkit::rng::Stream;
+use simkit::stats::{Histogram, Moments};
+use simkit::{Sim, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Largest number of kvps one group-commit round will absorb.
+const MAX_GROUP_KVPS: u64 = 8_000;
+
+struct Job {
+    kvps: u64,
+    /// Client join to notify on completion; `None` for background replica
+    /// writes (the client's buffered multi-put is acknowledged by the
+    /// region server — replication consumes capacity asynchronously).
+    join: Option<usize>,
+}
+
+struct Node {
+    queue: VecDeque<Job>,
+    queued_kvps: u64,
+    busy: bool,
+    paused_until: SimTime,
+    serviced_since_pause: f64,
+    /// Cumulative busy nanoseconds (for utilisation accounting).
+    busy_nanos: u64,
+    service_started: SimTime,
+    /// Lazy utilisation window.
+    win_start: SimTime,
+    win_busy: u64,
+    rng: Stream,
+}
+
+impl Node {
+    fn busy_nanos_at(&self, now: SimTime) -> u64 {
+        let mut b = self.busy_nanos;
+        if self.busy {
+            b += (now - self.service_started).as_nanos();
+        }
+        b
+    }
+
+    /// Recent write utilisation in `[0, 1)`, over a sliding ~2 s window.
+    fn utilisation(&mut self, now: SimTime) -> f64 {
+        let elapsed = (now - self.win_start).as_nanos();
+        let busy = self.busy_nanos_at(now);
+        let u = if elapsed < 50_000_000 {
+            // Window too fresh to be meaningful; reuse total average.
+            if now.as_nanos() == 0 {
+                0.0
+            } else {
+                busy as f64 / now.as_nanos() as f64
+            }
+        } else {
+            (busy - self.win_busy) as f64 / elapsed as f64
+        };
+        if elapsed > 2_000_000_000 {
+            self.win_start = now;
+            self.win_busy = busy;
+        }
+        u.clamp(0.0, 0.999)
+    }
+}
+
+struct Join {
+    remaining: usize,
+    driver: usize,
+    thread: usize,
+    client_ready: SimTime,
+    kvps: u64,
+}
+
+struct Driver {
+    /// kvps not yet handed to a thread.
+    unissued: u64,
+    done_kvps: u64,
+    home: usize,
+    since_query: u64,
+    started: SimTime,
+    finished: Option<SimTime>,
+    active_threads: usize,
+}
+
+/// Aggregated outcome of one workload execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionMetrics {
+    /// Wall-clock (virtual) duration of the whole execution in seconds.
+    pub elapsed_secs: f64,
+    /// Total kvps ingested.
+    pub ingested: u64,
+    /// Per-driver ingest completion times (seconds).
+    pub driver_ingest_secs: Vec<f64>,
+    /// Query latency histogram in microseconds.
+    pub query_latency_us: Histogram,
+    /// kvps aggregated per query.
+    pub rows_per_query: Moments,
+    /// Mean node write utilisation over the run.
+    pub mean_node_utilisation: f64,
+    /// Total group-commit service rounds.
+    pub service_rounds: u64,
+    /// Total compaction/GC pauses injected.
+    pub pauses: u64,
+}
+
+struct World {
+    p: ModelParams,
+    nodes: Vec<Node>,
+    drivers: Vec<Driver>,
+    joins: Vec<Join>,
+    free_joins: Vec<usize>,
+    conc: usize,
+    client_rng: Stream,
+    query_rng: Stream,
+    query_latency_us: Histogram,
+    rows_per_query: Moments,
+    total_ingested: u64,
+    service_rounds: u64,
+    pauses: u64,
+}
+
+impl World {
+    fn alloc_join(&mut self, join: Join) -> usize {
+        match self.free_joins.pop() {
+            Some(i) => {
+                self.joins[i] = join;
+                i
+            }
+            None => {
+                self.joins.push(join);
+                self.joins.len() - 1
+            }
+        }
+    }
+}
+
+/// Runs one full workload execution (the paper's "workload run"): `P`
+/// substations ingesting `total_kvps` in aggregate, with concurrent
+/// dashboard queries.
+///
+/// kvps are divided per the spec's equation (3): every driver gets
+/// `⌊K/P⌋`, the last also takes the remainder.
+pub fn run_execution(params: &ModelParams, substations: usize, total_kvps: u64) -> ExecutionMetrics {
+    params.validate().expect("invalid model parameters");
+    assert!(substations > 0, "need at least one substation");
+    assert!(total_kvps > 0, "need kvps to ingest");
+
+    let root = Stream::new(params.seed);
+    let per = total_kvps / substations as u64;
+    let rem = total_kvps % substations as u64;
+
+    let mut placement_rng = root.child(1);
+    let nodes: Vec<Node> = (0..params.nodes)
+        .map(|i| Node {
+            queue: VecDeque::new(),
+            queued_kvps: 0,
+            busy: false,
+            paused_until: SimTime::ZERO,
+            serviced_since_pause: 0.0,
+            busy_nanos: 0,
+            service_started: SimTime::ZERO,
+            win_start: SimTime::ZERO,
+            win_busy: 0,
+            rng: root.child(1000 + i as u64),
+        })
+        .collect();
+
+    let drivers: Vec<Driver> = (0..substations)
+        .map(|d| {
+            let kvps = if d + 1 == substations { per + rem } else { per };
+            Driver {
+                unissued: kvps,
+                done_kvps: 0,
+                home: placement_rng.next_below(params.nodes as u64) as usize,
+                since_query: 0,
+                started: SimTime::ZERO,
+                finished: None,
+                active_threads: 0,
+            }
+        })
+        .collect();
+
+    let world = World {
+        p: params.clone(),
+        nodes,
+        drivers,
+        joins: Vec::new(),
+        free_joins: Vec::new(),
+        conc: 0,
+        client_rng: root.child(2),
+        query_rng: root.child(3),
+        query_latency_us: Histogram::new(),
+        rows_per_query: Moments::new(),
+        total_ingested: 0,
+        service_rounds: 0,
+        pauses: 0,
+    };
+
+    let mut sim = Sim::new(world);
+    let threads = params.threads_per_driver;
+    for d in 0..substations {
+        for t in 0..threads {
+            sim.state.drivers[d].active_threads += 1;
+            sim.state.conc += 1;
+            // Stagger thread starts across the first millisecond so the
+            // initial group-commit rounds are not artificially aligned.
+            let jitter = ((d * threads + t) as u64 % 997) * 1_000;
+            sim.schedule(SimTime::from_nanos(jitter), move |sim| {
+                issue_chunk(sim, d, t);
+            });
+        }
+    }
+    sim.run();
+
+    let world = &mut sim.state;
+    let elapsed = world
+        .drivers
+        .iter()
+        .map(|d| d.finished.expect("all drivers finished"))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
+    let mean_u = world
+        .nodes
+        .iter()
+        .map(|n| n.busy_nanos as f64 / elapsed.as_nanos().max(1) as f64)
+        .sum::<f64>()
+        / world.nodes.len() as f64;
+
+    ExecutionMetrics {
+        elapsed_secs,
+        ingested: world.total_ingested,
+        driver_ingest_secs: world
+            .drivers
+            .iter()
+            .map(|d| d.finished.unwrap().as_secs_f64())
+            .collect(),
+        query_latency_us: world.query_latency_us.clone(),
+        rows_per_query: world.rows_per_query,
+        mean_node_utilisation: mean_u,
+        service_rounds: world.service_rounds,
+        pauses: world.pauses,
+    }
+}
+
+/// One client thread issues its next chunk of synchronous inserts.
+fn issue_chunk(sim: &mut Sim<World>, d: usize, t: usize) {
+    let now = sim.now();
+    let w = &mut sim.state;
+    let driver = &mut w.drivers[d];
+    if driver.unissued == 0 {
+        driver.active_threads -= 1;
+        w.conc -= 1;
+        if driver.active_threads == 0 {
+            driver.finished = Some(now);
+        }
+        return;
+    }
+    let chunk = driver.unissued.min(w.p.chunk_kvps);
+    driver.unissued -= chunk;
+
+    // Client-path time for `chunk` sequential ops.
+    let per_op_us = w.p.net_us() + w.p.handler_cost_us(w.conc);
+    let noise = 1.0 + 0.02 * (w.client_rng.next_f64() - 0.5);
+    let client_ready =
+        now + SimDuration::from_secs_f64(chunk as f64 * per_op_us * noise / 1e6);
+
+    // Placement: home node with probability `locality`, else uniform.
+    let home = driver.home;
+    let n_nodes = w.p.nodes;
+    let primary = if w.client_rng.chance(w.p.locality) {
+        home
+    } else {
+        w.client_rng.next_below(n_nodes as u64) as usize
+    };
+    let rf = w.p.effective_replication();
+    // HDFS-style replica placement: the primary is local (home-biased),
+    // the remaining replicas land on random distinct nodes. The client
+    // (8 GB write buffer, per the paper's tuning) is acknowledged by the
+    // primary region server; the replica writes consume node capacity in
+    // the background.
+    let mut targets = Vec::with_capacity(rf);
+    targets.push(primary);
+    while targets.len() < rf {
+        let r = w.client_rng.next_below(n_nodes as u64) as usize;
+        if !targets.contains(&r) {
+            targets.push(r);
+        }
+    }
+    let join = w.alloc_join(Join {
+        remaining: 1,
+        driver: d,
+        thread: t,
+        client_ready,
+        kvps: chunk,
+    });
+    for (i, node) in targets.into_iter().enumerate() {
+        let n = &mut sim.state.nodes[node];
+        n.queue.push_back(Job {
+            kvps: chunk,
+            join: (i == 0).then_some(join),
+        });
+        n.queued_kvps += chunk;
+        maybe_start_service(sim, node);
+    }
+
+    // Dashboard queries: five per 10,000 ingested readings per driver.
+    let w = &mut sim.state;
+    let driver = &mut w.drivers[d];
+    driver.since_query += chunk;
+    let interval = 10_000 / w.p.queries_per_10k;
+    let mut pending_queries = 0;
+    while driver.since_query >= interval {
+        driver.since_query -= interval;
+        pending_queries += 1;
+    }
+    for _ in 0..pending_queries {
+        run_query(sim, d);
+    }
+}
+
+/// Starts a group-commit service round on `node` if it is idle, unpaused,
+/// and has work.
+fn maybe_start_service(sim: &mut Sim<World>, node: usize) {
+    let now = sim.now();
+    let w = &mut sim.state;
+    let n = &mut w.nodes[node];
+    if n.busy || n.queue.is_empty() {
+        return;
+    }
+    if n.paused_until > now {
+        // Treat the pause as a service round so the node stays "busy"
+        // until it ends; retry then. `paused_until` stays observable so
+        // queries arriving meanwhile wait the pause out.
+        let resume = n.paused_until;
+        n.busy = true;
+        n.service_started = now;
+        sim.schedule(resume, move |sim| {
+            let ended = sim.now();
+            let n = &mut sim.state.nodes[node];
+            n.busy = false;
+            n.busy_nanos += (ended - n.service_started).as_nanos();
+            maybe_start_service(sim, node);
+        });
+        return;
+    }
+
+    // Group commit: absorb queued jobs up to the group cap.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut kvps = 0u64;
+    while let Some(job) = n.queue.front() {
+        if !jobs.is_empty() && kvps + job.kvps > MAX_GROUP_KVPS {
+            break;
+        }
+        let job = n.queue.pop_front().expect("front checked");
+        kvps += job.kvps;
+        n.queued_kvps -= job.kvps;
+        jobs.push(job);
+    }
+    debug_assert!(!jobs.is_empty());
+
+    // Mean-normalised lognormal noise: variability without changing the
+    // node's mean service rate (so the capacity anchors stay anchored).
+    let sigma = w.p.service_sigma;
+    let noise = n.rng.lognormal((-0.5 * sigma * sigma).exp(), sigma);
+    let service_us = (w.p.group_commit_us + kvps as f64 * w.p.kvp_cost_us()) * noise;
+    n.busy = true;
+    n.service_started = now;
+    n.serviced_since_pause += kvps as f64;
+
+    // Compaction/GC pause after this round?
+    let mut pause_after = SimDuration::ZERO;
+    if n.serviced_since_pause >= w.p.pause_every_kvps {
+        n.serviced_since_pause -= w.p.pause_every_kvps;
+        let ms = n.rng.lognormal(w.p.pause_median_ms, w.p.pause_sigma);
+        pause_after = SimDuration::from_secs_f64(ms / 1e3);
+        w.pauses += 1;
+    }
+    w.service_rounds += 1;
+
+    let done_at = now + SimDuration::from_secs_f64(service_us / 1e6);
+    sim.schedule(done_at, move |sim| {
+        end_service(sim, node, jobs, pause_after);
+    });
+}
+
+fn end_service(sim: &mut Sim<World>, node: usize, jobs: Vec<Job>, pause_after: SimDuration) {
+    let now = sim.now();
+    {
+        let n = &mut sim.state.nodes[node];
+        n.busy = false;
+        n.busy_nanos += (now - n.service_started).as_nanos();
+        if pause_after > SimDuration::ZERO {
+            n.paused_until = now + pause_after;
+        }
+    }
+    for job in jobs {
+        let Some(join_id) = job.join else {
+            continue; // background replica write
+        };
+        let (complete, driver, thread, kvps, resume_at) = {
+            let w = &mut sim.state;
+            let join = &mut w.joins[join_id];
+            join.remaining -= 1;
+            if join.remaining == 0 {
+                let resume = if join.client_ready > now {
+                    join.client_ready
+                } else {
+                    now
+                };
+                (true, join.driver, join.thread, join.kvps, resume)
+            } else {
+                (false, 0, 0, 0, now)
+            }
+        };
+        if complete {
+            let w = &mut sim.state;
+            w.free_joins.push(join_id);
+            w.drivers[driver].done_kvps += kvps;
+            w.total_ingested += kvps;
+            sim.schedule(resume_at, move |sim| issue_chunk(sim, driver, thread));
+        }
+    }
+    maybe_start_service(sim, node);
+}
+
+/// Executes one dashboard query for driver `d` (latency recorded, no
+/// server occupancy — reads come from the block cache / read handlers,
+/// which the paper's write-saturated runs never exhausted).
+fn run_query(sim: &mut Sim<World>, d: usize) {
+    let now = sim.now();
+    let w = &mut sim.state;
+
+    // Rows aggregated: the driver's recent per-sensor rate × the 5 s query
+    // window (Fig 12's metric).
+    let elapsed = (now - w.drivers[d].started).as_secs_f64().max(1e-3);
+    let per_sensor_rate =
+        w.drivers[d].done_kvps as f64 / elapsed / w.p.sensors_per_substation as f64;
+    let rows = (per_sensor_rate * 5.0).max(0.0);
+    // Poisson-ish spread around the expectation.
+    let rows_drawn = (rows * (0.85 + 0.3 * w.query_rng.next_f64())).round();
+    w.rows_per_query.record(rows_drawn);
+
+    // Target node: same placement distribution as the driver's writes.
+    let node_idx = if w.query_rng.chance(w.p.locality) {
+        w.drivers[d].home
+    } else {
+        w.query_rng.next_below(w.p.nodes as u64) as usize
+    };
+    let u = w.nodes[node_idx].utilisation(now);
+
+    let base_us = w.p.query_seek_us + rows_drawn * w.p.query_row_us + w.p.net_us();
+    // Read amplification under write pressure (compaction debt). The
+    // odds ratio is capped: once compaction is hopelessly behind, extra
+    // write pressure no longer adds store files faster than they merge.
+    let debt = 1.0 + w.p.ra_gain * (u / (1.0 - u).max(0.05)).min(4.0);
+    let noise = w.query_rng.lognormal(1.0, 0.35);
+    let mut latency_us = base_us * debt * noise;
+    // A query landing on a paused node waits the pause out.
+    if w.nodes[node_idx].paused_until > now {
+        latency_us += (w.nodes[node_idx].paused_until - now).as_nanos() as f64 / 1e3;
+    }
+    // Occasional read-path GC hiccup, independent of write load.
+    if w.query_rng.chance(w.p.gc_hiccup_prob) {
+        latency_us += w.query_rng.lognormal(w.p.gc_hiccup_median_ms, 0.8) * 1e3;
+    }
+    w.query_latency_us.record(latency_us.max(1.0) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params(nodes: usize) -> ModelParams {
+        ModelParams {
+            chunk_kvps: 500,
+            ..ModelParams::hbase_testbed(nodes)
+        }
+    }
+
+    #[test]
+    fn single_substation_throughput_matches_anchor() {
+        // Paper, Table I/III: one substation on 8 nodes ≈ 9,806 IoTps.
+        let m = run_execution(&quick_params(8), 1, 500_000);
+        let iotps = m.ingested as f64 / m.elapsed_secs;
+        assert!(
+            (8_500.0..11_500.0).contains(&iotps),
+            "8-node single-substation IoTps {iotps}"
+        );
+        assert_eq!(m.ingested, 500_000);
+    }
+
+    #[test]
+    fn two_node_single_substation_is_faster() {
+        // Paper, Table III: 21,909 (2 nodes) vs 9,806 (8 nodes) at P=1.
+        let m2 = run_execution(&quick_params(2), 1, 500_000);
+        let m8 = run_execution(&quick_params(8), 1, 500_000);
+        let x2 = m2.ingested as f64 / m2.elapsed_secs;
+        let x8 = m8.ingested as f64 / m8.elapsed_secs;
+        assert!(
+            x2 > 1.6 * x8,
+            "2-node should be ~2.2x faster at one substation: {x2} vs {x8}"
+        );
+    }
+
+    #[test]
+    fn scaling_is_superlinear_then_saturates() {
+        let per = |p: usize, kvps: u64| {
+            let m = run_execution(&quick_params(8), p, kvps);
+            m.ingested as f64 / m.elapsed_secs
+        };
+        let x1 = per(1, 300_000);
+        let x2 = per(2, 600_000);
+        let x8 = per(8, 2_400_000);
+        let x32 = per(32, 6_400_000);
+        let x48 = per(48, 7_200_000);
+        assert!(x2 / x1 > 2.2, "super-linear at 2 substations: {}", x2 / x1);
+        assert!(x8 / x1 > 6.0, "strong scaling to 8: {}", x8 / x1);
+        assert!(x32 > x8, "still growing to 32");
+        // Saturation: adding 16 more substations gains little.
+        assert!(
+            (x48 - x32).abs() / x32 < 0.15,
+            "plateau between 32 and 48: x32={x32} x48={x48}"
+        );
+        // Plateau near the paper's ~183-186k IoTps.
+        assert!(
+            (160_000.0..210_000.0).contains(&x32),
+            "8-node plateau {x32}"
+        );
+    }
+
+    #[test]
+    fn ingest_skew_grows_with_substations() {
+        let skew = |p: usize| {
+            let m = run_execution(&quick_params(8), p, (p as u64) * 200_000);
+            let min = m
+                .driver_ingest_secs
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let max = m
+                .driver_ingest_secs
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            (max - min) / max
+        };
+        let s2 = skew(2);
+        let s48 = skew(48);
+        assert!(s48 > s2, "skew grows with substations: {s2} vs {s48}");
+        assert!(s48 > 0.10, "48-substation skew is substantial: {s48}");
+    }
+
+    #[test]
+    fn queries_are_generated_at_spec_rate() {
+        let m = run_execution(&quick_params(8), 2, 400_000);
+        // 5 queries per 10k kvps per driver: 400k total → ~200 queries.
+        let expected = 400_000 / 2_000;
+        let got = m.query_latency_us.count();
+        assert!(
+            (got as i64 - expected as i64).unsigned_abs() <= 10,
+            "expected ~{expected} queries, got {got}"
+        );
+    }
+
+    #[test]
+    fn query_tail_is_heavy() {
+        // CV > 1 across configurations (Fig 14) thanks to pause injection.
+        let mut p = quick_params(8);
+        p.pause_every_kvps = 300_000.0; // scale pause rate to the small run
+        let m = run_execution(&p, 4, 2_000_000);
+        let s = m.query_latency_us.summary();
+        assert!(s.cv > 1.0, "coefficient of variation {} should exceed 1", s.cv);
+        assert!(s.max > 200_000, "max query latency {}us should be pause-scale", s.max);
+        assert!(m.pauses > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_execution(&quick_params(4), 3, 300_000);
+        let b = run_execution(&quick_params(4), 3, 300_000);
+        assert_eq!(a.elapsed_secs, b.elapsed_secs);
+        assert_eq!(a.query_latency_us.count(), b.query_latency_us.count());
+        assert_eq!(a.query_latency_us.max(), b.query_latency_us.max());
+        let mut p = quick_params(4);
+        p.seed ^= 1;
+        let c = run_execution(&p, 3, 300_000);
+        assert_ne!(a.elapsed_secs, c.elapsed_secs, "seed changes the run");
+    }
+
+    #[test]
+    fn kvp_split_follows_spec_equation() {
+        // Eq (3): last driver takes the remainder.
+        let m = run_execution(&quick_params(2), 3, 100_001);
+        assert_eq!(m.ingested, 100_001);
+    }
+}

@@ -1,0 +1,254 @@
+//! Model parameters, with the paper observation each constant is
+//! calibrated against.
+//!
+//! The model is *mechanistic* — closed-loop client threads, FIFO
+//! group-commit node queues, replication fan-out, compaction pauses — and
+//! its constants are anchored to the paper's measured operating points
+//! (HBase 1.2.0 on 2/4/8 Cisco UCS B200-M4 nodes). The *shapes* the paper
+//! reports (super-linear → sub-linear scaling, node-count crossovers,
+//! heavy query tails, ingest skew) all emerge from the mechanisms, not
+//! from lookup tables.
+
+/// Model constants for one simulated cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    /// Region-server nodes (paper: 2, 4, 8).
+    pub nodes: usize,
+    /// Client threads per TPCx-IoT driver instance. The paper reports 64
+    /// drivers spawning 640 threads (§III-C) ⇒ 10.
+    pub threads_per_driver: usize,
+    /// Sensors per power substation (spec: 200).
+    pub sensors_per_substation: u64,
+    /// Dashboard queries per 10,000 ingested readings (spec: 5).
+    pub queries_per_10k: u64,
+
+    // ---- Client / RPC path ------------------------------------------------
+    /// Fixed per-operation client+network time that grows with the number
+    /// of region servers a driver's keys span: `net = net_base +
+    /// net_per_node · N` (µs). Anchored to single-substation throughput:
+    /// 21,909 / 15,706 / 9,806 IoTps on 2/4/8 nodes ⇒ per-op ~0.46 / 0.64
+    /// / 1.02 ms at 10 threads.
+    pub net_base_us: f64,
+    pub net_per_node_us: f64,
+    /// Server-side RPC handler cost that amortises as concurrency rises
+    /// (adaptive batching in the RPC/WAL pipeline). The amortisable share
+    /// grows with the cluster's coordination footprint, quadratically in
+    /// the node count:
+    /// `h(conc) = handler_quad_us · (N−1)² / (1 + handler_beta · (conc/threads − 1))`.
+    /// This term produces the paper's super-linear region (S₂=2.8,
+    /// S₄=5.5 on 8 nodes) being much stronger on 8 nodes than on 2.
+    pub handler_quad_us: f64,
+    pub handler_beta: f64,
+
+    // ---- Node service (write path) ----------------------------------------
+    /// Group-commit fixed cost per service round (µs): WAL sync + handler
+    /// scheduling, paid once per batch regardless of batch size.
+    pub group_commit_us: f64,
+    /// Per-replica-write CPU+IO cost (µs per 1 KB kvp) as a function of
+    /// node count; piecewise-linear over `(nodes, µs)` anchors. Growth
+    /// with N reflects the wider replication/coordination pipeline.
+    /// Anchored to the saturation plateaus: ~115k / ~134k / ~186k IoTps.
+    pub kvp_cost_anchors: Vec<(f64, f64)>,
+    /// Fraction of a driver's writes that land on its home region server
+    /// (the rest spread uniformly). Produces the per-substation ingest
+    /// skew of Table II (5% at P=2 → 81% at P=48).
+    pub locality: f64,
+    /// Multiplicative lognormal noise (sigma) on service times.
+    pub service_sigma: f64,
+
+    // ---- Query path --------------------------------------------------------
+    /// Scanner open + first-block seek cost (µs). Anchored to the ~12 ms
+    /// average query time at low load (Fig 13).
+    pub query_seek_us: f64,
+    /// Per-row scan cost (µs per kvp aggregated).
+    pub query_row_us: f64,
+    /// Read-amplification penalty under write pressure: query latency is
+    /// multiplied by `1 + ra_gain · u / (1 − u)` where `u` is the target
+    /// node's write utilisation (compaction debt / L0 pile-up). Drives the
+    /// p95 growth from <25 ms to ~185 ms at 32 substations.
+    pub ra_gain: f64,
+
+    // ---- Compaction / GC pauses -------------------------------------------
+    /// A node pauses once per this many serviced kvps (major compaction /
+    /// GC). Drives the >1 s maxima and CV>1 of Fig 14.
+    pub pause_every_kvps: f64,
+    /// Median pause duration (ms) and lognormal sigma.
+    pub pause_median_ms: f64,
+    pub pause_sigma: f64,
+    /// Probability that a query hits a JVM GC hiccup on the read path
+    /// (independent of write load — why Fig 14's CV exceeds 1 even with a
+    /// single substation), and the hiccup's lognormal median duration.
+    pub gc_hiccup_prob: f64,
+    pub gc_hiccup_median_ms: f64,
+
+    // ---- Simulation mechanics ----------------------------------------------
+    /// Operations folded into one simulated client request ("chunk").
+    /// Larger = faster simulation, coarser ingest timing.
+    pub chunk_kvps: u64,
+    /// Replication factor requested (effective = min(rf, nodes)).
+    pub replication_factor: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl ModelParams {
+    /// The calibrated model of the paper's HBase testbed with `nodes`
+    /// region servers.
+    pub fn hbase_testbed(nodes: usize) -> ModelParams {
+        ModelParams {
+            nodes,
+            threads_per_driver: 10,
+            sensors_per_substation: 200,
+            queries_per_10k: 5,
+            net_base_us: 350.0,
+            net_per_node_us: 40.0,
+            handler_quad_us: 7.0,
+            handler_beta: 4.0,
+            group_commit_us: 90.0,
+            kvp_cost_anchors: vec![(1.0, 7.6), (2.0, 8.0), (4.0, 9.2), (8.0, 13.2), (16.0, 22.0)],
+            locality: 0.7,
+            service_sigma: 1.0,
+            query_seek_us: 8200.0,
+            query_row_us: 11.0,
+            ra_gain: 0.5,
+            pause_every_kvps: 1_000_000.0,
+            pause_median_ms: 320.0,
+            pause_sigma: 0.8,
+            gc_hiccup_prob: 0.006,
+            gc_hiccup_median_ms: 180.0,
+            chunk_kvps: 500,
+            replication_factor: 3,
+            seed: 0x79C5_1077,
+        }
+    }
+
+    pub fn effective_replication(&self) -> usize {
+        self.replication_factor.min(self.nodes).max(1)
+    }
+
+    /// Per-replica-write cost in µs for this node count (piecewise-linear
+    /// interpolation over the anchors, extrapolating the last segment).
+    pub fn kvp_cost_us(&self) -> f64 {
+        let n = self.nodes as f64;
+        let a = &self.kvp_cost_anchors;
+        debug_assert!(a.len() >= 2);
+        if n <= a[0].0 {
+            return a[0].1;
+        }
+        for w in a.windows(2) {
+            if n <= w[1].0 {
+                let t = (n - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        // Extrapolate the last segment.
+        let (x0, y0) = a[a.len() - 2];
+        let (x1, y1) = a[a.len() - 1];
+        y1 + (n - x1) * (y1 - y0) / (x1 - x0)
+    }
+
+    /// Per-op fixed client/network path cost in µs.
+    pub fn net_us(&self) -> f64 {
+        (self.net_base_us + self.net_per_node_us * self.nodes as f64).max(20.0)
+    }
+
+    /// Amortising handler cost in µs at a cluster-wide concurrency.
+    pub fn handler_cost_us(&self, concurrent_threads: usize) -> f64 {
+        let rel = (concurrent_threads as f64 / self.threads_per_driver as f64 - 1.0).max(0.0);
+        let n = self.nodes as f64;
+        self.handler_quad_us * (n - 1.0) * (n - 1.0) / (1.0 + self.handler_beta * rel)
+    }
+
+    /// Aggregate node write capacity in kvps ingested per second
+    /// (replica-writes divided by the replication factor).
+    pub fn theoretical_capacity(&self) -> f64 {
+        let per_node_writes_per_sec = 1e6 / self.kvp_cost_us();
+        per_node_writes_per_sec * self.nodes as f64 / self.effective_replication() as f64
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be positive".into());
+        }
+        if self.threads_per_driver == 0 || self.chunk_kvps == 0 {
+            return Err("threads_per_driver and chunk_kvps must be positive".into());
+        }
+        if self.kvp_cost_anchors.len() < 2 {
+            return Err("need at least two kvp cost anchors".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return Err("locality must be within [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_interpolate_and_extrapolate() {
+        let base = ModelParams::hbase_testbed(2);
+        let (lo_n, lo_c) = base.kvp_cost_anchors[0];
+        let (hi_n, hi_c) = *base.kvp_cost_anchors.last().unwrap();
+        let mut p = base.clone();
+        p.nodes = 2;
+        let c2 = p.kvp_cost_us();
+        p.nodes = 3;
+        let c3 = p.kvp_cost_us();
+        p.nodes = 4;
+        let c4 = p.kvp_cost_us();
+        assert!(c2 < c3 && c3 < c4, "cost grows monotonically");
+        p.nodes = hi_n as usize * 2;
+        assert!(p.kvp_cost_us() > hi_c, "extrapolates beyond last anchor");
+        p.nodes = lo_n as usize;
+        assert!((p.kvp_cost_us() - lo_c).abs() < 1e-9, "exact at first anchor");
+    }
+
+    #[test]
+    fn capacity_orders_with_nodes() {
+        let c2 = ModelParams::hbase_testbed(2).theoretical_capacity();
+        let c4 = ModelParams::hbase_testbed(4).theoretical_capacity();
+        let c8 = ModelParams::hbase_testbed(8).theoretical_capacity();
+        assert!(c2 < c4 && c4 < c8, "bigger clusters have more capacity");
+        // Theoretical (loss-free) capacity sits a little above the paper's
+        // measured plateaus of ~115k / ~134k / ~186k IoTps; the simulated
+        // plateau lands on the paper's numbers after imbalance and pauses.
+        assert!((115_000.0..140_000.0).contains(&c2), "c2={c2}");
+        assert!((134_000.0..160_000.0).contains(&c4), "c4={c4}");
+        assert!((186_000.0..220_000.0).contains(&c8), "c8={c8}");
+    }
+
+    #[test]
+    fn handler_cost_amortises() {
+        let p = ModelParams::hbase_testbed(8);
+        let h1 = p.handler_cost_us(10);
+        let h2 = p.handler_cost_us(20);
+        let h8 = p.handler_cost_us(80);
+        assert!(h1 > h2 && h2 > h8);
+        assert!(
+            (h1 - p.handler_quad_us * 49.0).abs() < 1e-9,
+            "full cost at one driver"
+        );
+        // The amortisable share is much larger on 8 nodes than on 2.
+        let p2 = ModelParams::hbase_testbed(2);
+        assert!(p.handler_cost_us(10) > 10.0 * p2.handler_cost_us(10));
+    }
+
+    #[test]
+    fn replication_capped() {
+        let mut p = ModelParams::hbase_testbed(2);
+        assert_eq!(p.effective_replication(), 2);
+        p.nodes = 8;
+        assert_eq!(p.effective_replication(), 3);
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = ModelParams::hbase_testbed(4);
+        p.validate().unwrap();
+        p.locality = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

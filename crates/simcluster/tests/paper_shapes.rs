@@ -1,0 +1,170 @@
+//! Shape tests pinning the simulated cluster to the paper's qualitative
+//! claims — every headline phenomenon of the evaluation section, at a
+//! scale that runs in CI.
+
+use simcluster::{run_execution, run_iteration, ModelParams};
+
+fn iotps(nodes: usize, substations: usize, kvps: u64) -> f64 {
+    let m = run_execution(&ModelParams::hbase_testbed(nodes), substations, kvps);
+    m.ingested as f64 / m.elapsed_secs
+}
+
+#[test]
+fn fig16_crossover_two_vs_eight_nodes() {
+    // Paper Table III: at one substation the 2-node cluster delivers
+    // ~2.2x the 8-node throughput; at 48 substations the 8-node cluster
+    // delivers ~1.6x the 2-node throughput.
+    let p1_2n = iotps(2, 1, 400_000);
+    let p1_8n = iotps(8, 1, 400_000);
+    assert!(
+        p1_2n / p1_8n > 1.6,
+        "2-node should win big at P=1: {p1_2n} vs {p1_8n}"
+    );
+    let p48_2n = iotps(2, 48, 6_000_000);
+    let p48_8n = iotps(8, 48, 6_000_000);
+    assert!(
+        p48_8n / p48_2n > 1.3,
+        "8-node should win at saturation: {p48_8n} vs {p48_2n}"
+    );
+}
+
+#[test]
+fn fig16_middle_configuration_orders_between() {
+    let p1_4n = iotps(4, 1, 400_000);
+    let p1_2n = iotps(2, 1, 400_000);
+    let p1_8n = iotps(8, 1, 400_000);
+    assert!(p1_2n > p1_4n && p1_4n > p1_8n, "P=1 ordering 2 > 4 > 8");
+
+    let p48_4n = iotps(4, 48, 6_000_000);
+    let p48_2n = iotps(2, 48, 6_000_000);
+    let p48_8n = iotps(8, 48, 6_000_000);
+    assert!(
+        p48_8n > p48_4n && p48_4n > p48_2n,
+        "P=48 ordering 8 > 4 > 2: {p48_8n} / {p48_4n} / {p48_2n}"
+    );
+}
+
+#[test]
+fn plateaus_land_near_paper_levels() {
+    // ~115k / ~134k / ~186k IoTps at saturation, ±12%.
+    let targets = [(2usize, 115_486.0), (4, 134_248.0), (8, 182_815.0)];
+    for (nodes, paper) in targets {
+        let sim = iotps(nodes, 48, 8_000_000);
+        let ratio = sim / paper;
+        assert!(
+            (0.88..1.12).contains(&ratio),
+            "{nodes}-node plateau {sim} vs paper {paper} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn single_substation_anchors_hold() {
+    let targets = [(2usize, 21_909.0), (4, 15_706.0), (8, 9_806.0)];
+    for (nodes, paper) in targets {
+        let sim = iotps(nodes, 1, 400_000);
+        let ratio = sim / paper;
+        assert!(
+            (0.85..1.25).contains(&ratio),
+            "{nodes}-node single-substation {sim} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn per_sensor_floor_crossing_between_32_and_48() {
+    // Paper Fig 11: 29.1 kvps/s/sensor at P=32 (valid), 19.0 at P=48
+    // (invalid).
+    let x32 = iotps(8, 32, 8_000_000) / (32.0 * 200.0);
+    let x48 = iotps(8, 48, 8_000_000) / (48.0 * 200.0);
+    assert!(x32 > 20.0, "P=32 per-sensor {x32} must be valid");
+    assert!(x48 < 22.0, "P=48 per-sensor {x48} near/below the floor");
+    assert!(x48 < x32);
+}
+
+#[test]
+fn queries_scale_with_ingest_volume() {
+    // 5 queries per 10k readings, independent of P and kvps.
+    for (p, kvps) in [(1usize, 200_000u64), (4, 800_000)] {
+        let m = run_execution(&ModelParams::hbase_testbed(8), p, kvps);
+        let expected = kvps / 2_000;
+        let got = m.query_latency_us.count();
+        assert!(
+            (got as i64 - expected as i64).unsigned_abs() <= expected / 20 + p as u64 * 10,
+            "P={p}: {got} queries vs expected ~{expected}"
+        );
+    }
+}
+
+#[test]
+fn rows_per_query_tracks_per_sensor_rate() {
+    // Fig 12: avg rows/query ≈ per-sensor rate × 5 s.
+    let m = run_execution(&ModelParams::hbase_testbed(8), 4, 2_000_000);
+    let per_sensor = m.ingested as f64 / m.elapsed_secs / 800.0;
+    let expected_rows = per_sensor * 5.0;
+    let got = m.rows_per_query.mean();
+    let rel = (got - expected_rows).abs() / expected_rows;
+    assert!(
+        rel < 0.30,
+        "rows/query {got:.0} should track per-sensor*5s {expected_rows:.0}"
+    );
+}
+
+#[test]
+fn warmup_and_measured_runs_are_comparable() {
+    // The spec's repeatability premise: two executions of the same
+    // workload land within noise of each other.
+    let it = run_iteration(&ModelParams::hbase_testbed(4), 4, 1_000_000);
+    let ratio = it.warmup.iotps / it.measured.iotps;
+    assert!(
+        (0.85..1.18).contains(&ratio),
+        "warm-up vs measured ratio {ratio}"
+    );
+}
+
+#[test]
+fn more_drivers_never_reduce_total_throughput_materially() {
+    // Fig 10/16: throughput is monotone-ish in P until the plateau; it
+    // never collapses (a sanity property of the closed-loop model).
+    let mut last = 0.0;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let x = iotps(8, p, (p as u64) * 250_000);
+        assert!(
+            x > last * 0.93,
+            "throughput collapsed between P and 2P: {last} -> {x} at P={p}"
+        );
+        last = x;
+    }
+}
+
+#[test]
+fn replication_ablation_scales_capacity() {
+    // rf=1 should roughly triple the 8-node plateau (each ingested kvp
+    // costs one node-write instead of three).
+    let mut p = ModelParams::hbase_testbed(8);
+    p.replication_factor = 1;
+    let m = run_execution(&p, 48, 8_000_000);
+    let x_rf1 = m.ingested as f64 / m.elapsed_secs;
+    let x_rf3 = iotps(8, 48, 8_000_000);
+    let gain = x_rf1 / x_rf3;
+    assert!(
+        (2.0..4.0).contains(&gain),
+        "rf=1 should be ~3x rf=3: gain {gain}"
+    );
+}
+
+#[test]
+fn pause_ablation_removes_the_tail() {
+    let mut p = ModelParams::hbase_testbed(8);
+    p.pause_every_kvps = f64::INFINITY;
+    p.gc_hiccup_prob = 0.0;
+    let quiet = run_execution(&p, 4, 3_000_000);
+    let noisy = run_execution(&ModelParams::hbase_testbed(8), 4, 3_000_000);
+    assert!(
+        quiet.query_latency_us.max() < noisy.query_latency_us.max() / 2,
+        "pauses drive the max: quiet {} vs noisy {}",
+        quiet.query_latency_us.max(),
+        noisy.query_latency_us.max()
+    );
+    assert!(quiet.pauses == 0 && noisy.pauses > 0);
+}

@@ -1,0 +1,276 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every simulated entity (driver, server, compaction process, …) owns its
+//! own [`Stream`], derived from a root seed and a stable label. This keeps a
+//! simulation reproducible even when unrelated parts of the model change the
+//! *number* of draws they make: entity A's stream is unaffected by entity B.
+//!
+//! The generator is `xoshiro256**`-style via two rounds of SplitMix64 seed
+//! expansion — small, fast, and entirely self-contained (we only depend on
+//! `rand`'s traits so streams plug into `rand::distributions`).
+
+use rand::RngCore;
+
+/// SplitMix64 step — used for seed derivation and stream splitting.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from a parent seed and a label.
+///
+/// Labels are arbitrary `u64`s; `(seed, label)` pairs map to child seeds via
+/// SplitMix64 mixing so that nearby labels yield uncorrelated streams.
+pub fn derive_seed(seed: u64, label: u64) -> u64 {
+    let mut s = seed ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    a ^ b.rotate_left(32)
+}
+
+/// A deterministic random stream (xoshiro256** core).
+#[derive(Clone, Debug)]
+pub struct Stream {
+    s: [u64; 4],
+}
+
+impl Stream {
+    /// Creates a stream from a seed. A zero seed is remapped internally so
+    /// the generator state is never all-zero.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Stream { s }
+    }
+
+    /// Creates the child stream for `label`.
+    pub fn child(&self, label: u64) -> Stream {
+        // Mix current state words so children of the same stream at
+        // different points in time differ.
+        let base = self.s[0] ^ self.s[2].rotate_left(17);
+        Stream::new(derive_seed(base, label))
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// (bias-corrected by rejection).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Exponentially distributed sample with the given mean.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; (1 - u) keeps the argument strictly positive.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Log-normal sample parameterised by the *median* (`exp(mu)`) and
+    /// `sigma`, useful for heavy-tailed service times.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        let z = self.gaussian();
+        median * (sigma * z).exp()
+    }
+
+    /// Standard normal sample (Box–Muller, one value per call).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl RngCore for Stream {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        Stream::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&Stream::next_u64(self).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = Stream::next_u64(self).to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Stream::new(42);
+        let mut b = Stream::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Stream::new(1);
+        let mut b = Stream::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn child_streams_are_independent_of_parent_draws() {
+        let parent = Stream::new(7);
+        let c1 = parent.child(3);
+        // Drawing from a clone of the parent must not change what child(3)
+        // of the *original* state would have been.
+        let mut parent2 = parent.clone();
+        parent2.next_u64();
+        let c2 = parent.child(3);
+        let mut a = c1;
+        let mut b = c2;
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut s = Stream::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = s.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_plausible_mean() {
+        let mut s = Stream::new(11);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = s.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close_to_parameter() {
+        let mut s = Stream::new(13);
+        let n = 200_000;
+        let mean_param = 2.5;
+        let sum: f64 = (0..n).map(|_| s.exp(mean_param)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - mean_param).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut s = Stream::new(17);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let z = s.gaussian();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var was {var}");
+    }
+
+    #[test]
+    fn derive_seed_spreads_labels() {
+        let s0 = derive_seed(123, 0);
+        let s1 = derive_seed(123, 1);
+        let s2 = derive_seed(123, 2);
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+        assert_ne!(s0, s2);
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut s = Stream::new(5);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            s.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+}

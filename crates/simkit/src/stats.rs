@@ -1,0 +1,418 @@
+//! Measurement utilities: log-linear histograms (HDR-style), running
+//! moments, and fixed-interval time series.
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// bound the relative quantile error at ~3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-linear histogram of `u64` values (e.g. latencies in nanoseconds).
+///
+/// Values are bucketed into power-of-two ranges, each split into
+/// [`SUB_BUCKETS`] linear sub-buckets, giving bounded relative error for
+/// percentile queries across the full `u64` range. Exact `min`, `max`,
+/// `sum`, and sum-of-squares are tracked alongside, so `mean`, `stddev`,
+/// and the coefficient of variation are exact.
+#[derive(Clone)]
+pub struct Histogram {
+    // (Debug is implemented manually to print the summary, not the buckets.)
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    sum_sq: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        // 64 exponent buckets x SUB_BUCKETS is more than enough for u64.
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            sum_sq: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+        let shift = exp - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (midpoint) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let group = (index / SUB_BUCKETS) as u32; // >= 1
+        let sub = (index % SUB_BUCKETS) as u64;
+        let shift = group - 1;
+        let base = (SUB_BUCKETS as u64 + sub) << shift;
+        let width = 1u64 << shift;
+        base + width / 2
+    }
+
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.sum_sq += (value as f64) * (value as f64);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Population standard deviation (exact, from tracked moments).
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = (self.sum_sq / self.count as f64 - mean * mean).max(0.0);
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (`stddev / mean`); the statistic the paper
+    /// annotates Fig 14 with.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.stddev() / mean
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`. `min`/`max` are exact
+    /// at the extremes.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// A compact summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            min: self.min(),
+            max: self.max,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            cv: self.cv(),
+            p50: self.value_at_quantile(0.50),
+            p95: self.value_at_quantile(0.95),
+            p99: self.value_at_quantile(0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram({:?})", self.summary())
+    }
+}
+
+/// Snapshot of a [`Histogram`]'s key statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub stddev: f64,
+    pub cv: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+/// Welford online mean/variance accumulator for `f64` observations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+    /// Rebuilds an accumulator from sufficient statistics — the parallel
+    /// merge (Chan et al.) of two accumulators produces these directly.
+    pub fn restore(&mut self, n: u64, mean: f64, m2: f64, min: f64, max: f64) {
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = min;
+        self.max = max;
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A fixed-interval time series of counters (e.g. ops completed per second
+/// of virtual time), used for throughput-over-time plots.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    interval_nanos: u64,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    pub fn new(interval_nanos: u64) -> Self {
+        assert!(interval_nanos > 0);
+        TimeSeries {
+            interval_nanos,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Adds `n` to the bucket covering time `t_nanos`.
+    pub fn add(&mut self, t_nanos: u64, n: u64) {
+        let idx = (t_nanos / self.interval_nanos) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn interval_nanos(&self) -> u64 {
+        self.interval_nanos
+    }
+
+    /// Mean rate per interval across non-trailing-empty buckets.
+    pub fn mean_rate(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.buckets.iter().sum();
+        total as f64 / self.buckets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        // Small values are bucketed exactly: the 16th smallest of 0..32 is 15.
+        assert_eq!(h.value_at_quantile(0.5), (SUB_BUCKETS / 2) as u64 - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.1, 0.25, 0.5, 0.9, 0.95, 0.99] {
+            let exact = (q * 100_000.0) as u64;
+            let approx = h.value_at_quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.04, "q={q}: approx={approx} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_std_exact() {
+        let mut h = Histogram::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 5.0);
+        assert!((h.stddev() - 2.0).abs() < 1e-9);
+        assert!((h.cv() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..5000u64 {
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+            all.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.value_at_quantile(0.9), all.value_at_quantile(0.9));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.summary(), Summary::default());
+    }
+
+    #[test]
+    fn moments_match_closed_form() {
+        let mut m = Moments::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 4.0);
+    }
+
+    #[test]
+    fn time_series_bucketing() {
+        let mut ts = TimeSeries::new(1_000_000_000); // 1s buckets
+        ts.add(100, 5);
+        ts.add(999_999_999, 5);
+        ts.add(1_000_000_000, 7);
+        ts.add(3_500_000_000, 1);
+        assert_eq!(ts.buckets(), &[10, 7, 0, 1]);
+        assert_eq!(ts.mean_rate(), 4.5);
+    }
+}

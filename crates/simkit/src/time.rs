@@ -1,0 +1,183 @@
+//! Virtual time: [`SimTime`] (an instant) and [`SimDuration`] (a span),
+//! both nanosecond-resolution `u64` newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the virtual clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+macro_rules! ctors {
+    ($ty:ident) => {
+        impl $ty {
+            pub const ZERO: $ty = $ty(0);
+
+            #[inline]
+            pub const fn from_nanos(n: u64) -> Self {
+                $ty(n)
+            }
+            #[inline]
+            pub const fn from_micros(us: u64) -> Self {
+                $ty(us * 1_000)
+            }
+            #[inline]
+            pub const fn from_millis(ms: u64) -> Self {
+                $ty(ms * 1_000_000)
+            }
+            #[inline]
+            pub const fn from_secs(s: u64) -> Self {
+                $ty(s * 1_000_000_000)
+            }
+            /// Builds from fractional seconds, rounding to nanoseconds.
+            /// Negative inputs saturate to zero.
+            #[inline]
+            pub fn from_secs_f64(s: f64) -> Self {
+                $ty((s.max(0.0) * 1e9).round() as u64)
+            }
+            #[inline]
+            pub const fn as_nanos(self) -> u64 {
+                self.0
+            }
+            #[inline]
+            pub const fn as_micros(self) -> u64 {
+                self.0 / 1_000
+            }
+            #[inline]
+            pub const fn as_millis(self) -> u64 {
+                self.0 / 1_000_000
+            }
+            #[inline]
+            pub fn as_secs_f64(self) -> f64 {
+                self.0 as f64 / 1e9
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:.6}s)", stringify!($ty), self.as_secs_f64())
+            }
+        }
+    };
+}
+
+ctors!(SimTime);
+ctors!(SimDuration);
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Elapsed span between two instants; saturates at zero.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    /// Scales a duration by a non-negative factor, rounding to nanoseconds.
+    #[inline]
+    fn mul(self, rhs: f64) -> SimDuration {
+        debug_assert!(rhs >= 0.0);
+        SimDuration((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_millis(), 250);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_millis(500);
+        assert_eq!(t + d, SimTime::from_millis(10_500));
+        assert_eq!((t + d) - t, d);
+        // Saturating subtraction never underflows.
+        assert_eq!(t - SimTime::from_secs(20), SimDuration::ZERO);
+        assert_eq!(t - SimDuration::from_secs(20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d * 3u64, SimDuration::from_micros(300));
+        assert_eq!(d * 0.5f64, SimDuration::from_micros(50));
+        assert_eq!(d / 4, SimDuration::from_micros(25));
+    }
+}

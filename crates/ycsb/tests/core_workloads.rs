@@ -1,0 +1,94 @@
+//! End-to-end runs of the six classic YCSB core workloads through the
+//! threaded runner, checking operation accounting and measurement
+//! consistency.
+
+use std::sync::Arc;
+use ycsb::measurement::OpKind;
+use ycsb::runner::{RunConfig, Runner};
+use ycsb::store::MemoryStore;
+use ycsb::workload::{CoreWorkload, WorkloadConfig};
+
+fn run_preset(name: &str, mut config: WorkloadConfig) -> (Runner, RunConfig) {
+    config.record_count = 400;
+    config.field_count = 3;
+    config.field_length = 12;
+    let store = Arc::new(MemoryStore::new());
+    let workload = Arc::new(CoreWorkload::new(config).unwrap_or_else(|e| panic!("{name}: {e}")));
+    let runner = Runner::new(store, workload);
+    let rc = RunConfig {
+        threads: 3,
+        operation_count: 900,
+        seed: 0xCAFE,
+        ..Default::default()
+    };
+    let load = runner.load(&rc);
+    assert_eq!(load.failures, 0, "{name}: load failures");
+    let run = runner.run(&rc);
+    assert_eq!(run.failures, 0, "{name}: run failures");
+    (runner, rc)
+}
+
+#[test]
+fn workload_a_b_c_mixes() {
+    for (name, cfg, read_share) in [
+        ("A", WorkloadConfig::preset_a(), 0.5),
+        ("B", WorkloadConfig::preset_b(), 0.95),
+        ("C", WorkloadConfig::preset_c(), 1.0),
+    ] {
+        let (runner, rc) = run_preset(name, cfg);
+        let reads = runner.measurements.ok_count(OpKind::Read);
+        let updates = runner.measurements.ok_count(OpKind::Update);
+        assert_eq!(reads + updates, rc.operation_count, "{name}: total ops");
+        let share = reads as f64 / rc.operation_count as f64;
+        assert!(
+            (share - read_share).abs() < 0.06,
+            "{name}: read share {share} vs {read_share}"
+        );
+    }
+}
+
+#[test]
+fn workload_d_prefers_recent_inserts() {
+    let (runner, rc) = run_preset("D", WorkloadConfig::preset_d());
+    let reads = runner.measurements.ok_count(OpKind::Read);
+    let inserts = runner.measurements.ok_count(OpKind::Insert);
+    // Load phase contributed 400 inserts; the run adds ~5%.
+    assert_eq!(reads + (inserts - 400), rc.operation_count);
+    assert!(inserts > 400, "run-phase inserts landed");
+}
+
+#[test]
+fn workload_e_scans_receive_ranges() {
+    let (runner, _) = run_preset("E", WorkloadConfig::preset_e());
+    let scans = runner.measurements.ok_count(OpKind::Scan);
+    assert!(scans > 700, "scans dominate workload E: {scans}");
+    let s = runner.measurements.summary(OpKind::Scan);
+    assert!(s.count == scans && s.max >= s.p95 && s.p95 >= s.p50);
+}
+
+#[test]
+fn workload_f_read_modify_write() {
+    let (runner, rc) = run_preset("F", WorkloadConfig::preset_f());
+    let rmw = runner.measurements.ok_count(OpKind::ReadModifyWrite);
+    let reads = runner.measurements.ok_count(OpKind::Read);
+    assert_eq!(rmw + reads, rc.operation_count);
+    assert!(rmw > 350 && rmw < 550, "rmw share ~50%: {rmw}");
+}
+
+#[test]
+fn throughput_and_elapsed_are_consistent() {
+    let (runner, _) = run_preset("A", WorkloadConfig::preset_a());
+    let total = runner.measurements.total_ops();
+    let throughput = runner.measurements.throughput();
+    let elapsed = runner.measurements.elapsed_secs();
+    assert!((throughput - total as f64 / elapsed).abs() / throughput < 0.05);
+}
+
+#[test]
+fn report_covers_every_executed_kind() {
+    let (runner, _) = run_preset("E", WorkloadConfig::preset_e());
+    let report = runner.measurements.report();
+    assert!(report.contains("[SCAN]"));
+    assert!(report.contains("[INSERT]"));
+    assert!(!report.contains("[RMW]"), "no RMW in workload E");
+}

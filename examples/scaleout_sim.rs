@@ -1,0 +1,46 @@
+//! Fig 16 in miniature: sweep substation counts across 2/4/8-node
+//! simulated clusters and print the scale-out crossover the paper
+//! reports (2 nodes win at one substation, 8 nodes win at saturation).
+//!
+//! ```sh
+//! cargo run --release --example scaleout_sim [scale]
+//! ```
+//!
+//! `scale` divides the per-point row counts (default 50 → finishes in a
+//! few seconds; 1 reproduces full-paper volumes).
+
+use tpcx_iot::experiment::{render_table3, table3_experiment};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+
+    let mut blocks = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        println!("simulating {nodes}-node cluster ...");
+        blocks.push(table3_experiment(nodes, scale));
+    }
+    for rows in &blocks {
+        println!("\n== {}-node configuration ==", rows[0].nodes);
+        print!("{}", render_table3(rows));
+    }
+
+    // Highlight the crossover.
+    let at = |rows: &[tpcx_iot::experiment::Table3Row], p: usize| {
+        rows.iter().find(|r| r.substations == p).map(|r| r.iotps)
+    };
+    let (two, eight) = (&blocks[0], &blocks[2]);
+    println!("\ncrossover check:");
+    println!(
+        "  P=1 : 2-node {:>8.0} IoTps vs 8-node {:>8.0} IoTps  (2-node wins)",
+        at(two, 1).unwrap(),
+        at(eight, 1).unwrap()
+    );
+    println!(
+        "  P=48: 2-node {:>8.0} IoTps vs 8-node {:>8.0} IoTps  (8-node wins)",
+        at(two, 48).unwrap(),
+        at(eight, 48).unwrap()
+    );
+}

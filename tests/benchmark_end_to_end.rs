@@ -1,0 +1,146 @@
+//! The full benchmark lifecycle against the real gateway cluster — the
+//! complete Fig 6 flow at laptop scale.
+
+use tpcx_iot::checks::KitManifest;
+use tpcx_iot::pricing::PriceSheet;
+use tpcx_iot::report::{executive_summary, full_disclosure_report};
+use tpcx_iot::rules::Rules;
+use tpcx_iot::runner::{BenchmarkConfig, BenchmarkRunner, GatewaySut};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tpcx-e2e-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn sut(dir: &std::path::Path, nodes: usize) -> GatewaySut {
+    let mut config = gateway::ClusterConfig::new(dir, nodes);
+    // 1 KB values at tens of thousands of rows: a tiny memtable would
+    // flush thousands of times; a 2 MiB budget still exercises several
+    // flush/compaction cycles per run while keeping the test quick.
+    config.storage = iotkv::Options {
+        memtable_bytes: 2 << 20,
+        block_bytes: 4 << 10,
+        l1_bytes: 8 << 20,
+        table_bytes: 2 << 20,
+        background_compaction: false,
+        ..iotkv::Options::default()
+    };
+    GatewaySut::new(gateway::Cluster::start(config).unwrap())
+}
+
+fn lab_rules() -> Rules {
+    Rules {
+        min_elapsed_secs: 0.0,
+        min_per_sensor_rate: 0.0,
+        min_rows_per_query: 0.0,
+    }
+}
+
+#[test]
+fn two_iterations_with_cleanup_produce_metrics() {
+    let dir = tmpdir("flow");
+    let mut sut = sut(&dir, 3);
+    let mut config = BenchmarkConfig::new(2, 16_000);
+    config.threads_per_driver = 2;
+    config.rules = lab_rules();
+    let sheet = PriceSheet::sample_cluster(3);
+    let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+
+    let outcome = runner.run(&mut sut);
+    assert!(
+        outcome.prerequisite_checks.iter().all(|c| c.passed),
+        "{:?}",
+        outcome.prerequisite_checks
+    );
+    assert_eq!(outcome.iterations.len(), 2);
+    for it in &outcome.iterations {
+        assert_eq!(it.warmup.ingested, 16_000);
+        assert_eq!(it.measured.ingested, 16_000);
+        assert!(it.data_check.passed, "{}", it.data_check.detail);
+        assert!(it.measured.queries > 0, "queries ran concurrently");
+        assert!(it.measured.query_latency.count > 0);
+    }
+    let metrics = outcome.metrics.as_ref().expect("metrics");
+    assert!(metrics.iotps > 0.0);
+    assert!(metrics.price_per_iotps > 0.0);
+    assert_eq!(metrics.availability_date, "2017-05-20");
+    assert!(outcome.publishable());
+
+    // Reports render.
+    let es = executive_summary(&outcome, &config, &sheet);
+    assert!(es.contains("IoTps"));
+    let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+    assert!(fdr.contains("Iteration 2"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn file_check_gates_the_run() {
+    let kit_dir = tmpdir("kit");
+    std::fs::create_dir_all(&kit_dir).unwrap();
+    std::fs::write(kit_dir.join("tpcx-iot.sh"), "#!/bin/sh\n").unwrap();
+    let manifest = KitManifest::fingerprint(&kit_dir).unwrap();
+
+    // Pristine kit: run proceeds.
+    let data_dir = tmpdir("gate-ok");
+    let mut s = sut(&data_dir, 2);
+    let mut config = BenchmarkConfig::new(1, 2_000);
+    config.threads_per_driver = 1;
+    config.rules = lab_rules();
+    // A 2-node cluster replicates to all nodes; the spec's 3-way floor
+    // caps at the node count (minimum publishable configuration is 2).
+    config.required_replication = 2;
+    config.kit = Some((kit_dir.clone(), manifest.clone()));
+    let outcome = BenchmarkRunner::new(config.clone(), PriceSheet::sample_cluster(2)).run(&mut s);
+    assert_eq!(outcome.iterations.len(), 2);
+    std::fs::remove_dir_all(&data_dir).ok();
+
+    // Tampered kit: run aborts before any iteration.
+    std::fs::write(kit_dir.join("tpcx-iot.sh"), "#!/bin/sh\nrm -rf /\n").unwrap();
+    let data_dir = tmpdir("gate-bad");
+    let mut s = sut(&data_dir, 2);
+    let outcome = BenchmarkRunner::new(config, PriceSheet::sample_cluster(2)).run(&mut s);
+    assert!(outcome.iterations.is_empty());
+    assert!(outcome.metrics.is_none());
+    assert!(outcome
+        .prerequisite_checks
+        .iter()
+        .any(|c| c.name == "file check" && !c.passed));
+    std::fs::remove_dir_all(&data_dir).ok();
+    std::fs::remove_dir_all(&kit_dir).ok();
+}
+
+#[test]
+fn iterations_are_independent_after_cleanup() {
+    // If cleanup failed to purge, the second iteration's data check
+    // (expected == 2 × total) would fail because counts accumulate.
+    let dir = tmpdir("independent");
+    let mut s = sut(&dir, 2);
+    let mut config = BenchmarkConfig::new(1, 5_000);
+    config.threads_per_driver = 2;
+    config.rules = lab_rules();
+    config.required_replication = 2;
+    let outcome = BenchmarkRunner::new(config, PriceSheet::sample_cluster(2)).run(&mut s);
+    assert_eq!(outcome.iterations.len(), 2);
+    assert!(outcome.iterations[1].data_check.passed,
+        "second iteration data check: {}", outcome.iterations[1].data_check.detail);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn spec_scale_invalidity_is_reported_not_hidden() {
+    // Running with official spec rules at laptop scale must be flagged
+    // invalid (1800s floor unmet) while still producing measurements.
+    let dir = tmpdir("invalid");
+    let mut s = sut(&dir, 2);
+    let mut config = BenchmarkConfig::new(1, 2_000);
+    config.threads_per_driver = 1;
+    config.rules = Rules::SPEC;
+    config.required_replication = 2;
+    let outcome = BenchmarkRunner::new(config, PriceSheet::sample_cluster(2)).run(&mut s);
+    assert_eq!(outcome.iterations.len(), 2);
+    assert!(outcome.metrics.is_some(), "metrics still derived");
+    assert!(!outcome.publishable(), "rules flag the run invalid");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+use tpcx_iot::keys::{decode_reading, encode_reading, sensor_time_range, SensorReading, KVP_SIZE};
+use tpcx_iot::metrics::{performance_run, MeasuredRun};
+
+/// Characters legal in substation/sensor keys and values for these tests
+/// (the schema uses `|` as separator, so components exclude it).
+fn component(max: usize) -> impl Strategy<Value = String> {
+    proptest::string::string_regex(&format!("[a-zA-Z0-9_.-]{{1,{max}}}"))
+        .expect("valid regex")
+}
+
+fn reading() -> impl Strategy<Value = SensorReading> {
+    (
+        component(64),
+        component(64),
+        0u64..9_999_999_999_999u64,
+        proptest::string::string_regex("[0-9]{1,12}(\\.[0-9]{1,6})?").expect("regex"),
+        component(30).prop_map(|s| format!("u-{s}").chars().take(34).collect::<String>()),
+    )
+        .prop_filter("unit must be 4-34 chars", |(_, _, _, _, u)| {
+            u.len() >= 4 && u.len() <= 34
+        })
+        .prop_filter("value 1-20 chars", |(_, _, _, v, _)| v.len() <= 20)
+        .prop_map(|(substation, sensor, timestamp_ms, value, unit)| SensorReading {
+            substation,
+            sensor,
+            timestamp_ms,
+            value,
+            unit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode is the identity and always produces exactly 1 KB.
+    #[test]
+    fn kvp_round_trip(r in reading()) {
+        let (k, v) = encode_reading(&r);
+        prop_assert_eq!(k.len() + v.len(), KVP_SIZE);
+        let back = decode_reading(&k, &v).expect("decodes");
+        prop_assert_eq!(back, r);
+    }
+
+    /// Within one sensor, key order equals timestamp order.
+    #[test]
+    fn key_order_is_time_order(
+        r in reading(),
+        t1 in 0u64..9_999_999_999_999u64,
+        t2 in 0u64..9_999_999_999_999u64,
+    ) {
+        let mut a = r.clone();
+        a.timestamp_ms = t1;
+        let mut b = r;
+        b.timestamp_ms = t2;
+        let (ka, _) = encode_reading(&a);
+        let (kb, _) = encode_reading(&b);
+        prop_assert_eq!(ka.cmp(&kb), t1.cmp(&t2));
+    }
+
+    /// A reading falls inside a sensor-time-range window iff its
+    /// timestamp does.
+    #[test]
+    fn range_membership_matches_timestamps(
+        r in reading(),
+        from in 0u64..9_999_999_999_000u64,
+        span in 1u64..600_000u64,
+    ) {
+        let to = from + span;
+        let (start, end) = sensor_time_range(&r.substation, &r.sensor, from, to);
+        let (k, _) = encode_reading(&r);
+        let inside = k.as_ref() >= start.as_slice() && k.as_ref() < end.as_slice();
+        let expected = r.timestamp_ms >= from && r.timestamp_ms < to;
+        prop_assert_eq!(inside, expected);
+    }
+
+    /// The performance run is always the slower-or-equal rate of the two.
+    #[test]
+    fn performance_run_is_conservative(
+        n1 in 1u64..1_000_000u64,
+        n2 in 1u64..1_000_000u64,
+        e1 in 0.1f64..10_000.0,
+        e2 in 0.1f64..10_000.0,
+    ) {
+        let r1 = MeasuredRun { ingested: n1, elapsed_secs: e1 };
+        let r2 = MeasuredRun { ingested: n2, elapsed_secs: e2 };
+        let m = performance_run(r1, r2);
+        // The chosen run never has more ingested kvps than either input.
+        prop_assert!(m.ingested <= n1.max(n2));
+        prop_assert!(m.ingested == n1 || m.ingested == n2);
+        // With equal counts it is the slower one.
+        if n1 == n2 {
+            prop_assert!(m.elapsed_secs >= e1.min(e2));
+            prop_assert!((m.elapsed_secs - e1.max(e2)).abs() < 1e-12);
+        }
+    }
+}
+
+mod md5_props {
+    use super::*;
+    use tpcx_iot::md5::{md5_hex, Md5};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Incremental hashing equals one-shot for arbitrary chunkings.
+        #[test]
+        fn md5_chunking_invariant(
+            data in proptest::collection::vec(any::<u8>(), 0..4096),
+            chunk in 1usize..512,
+        ) {
+            let whole = md5_hex(&data);
+            let mut ctx = Md5::new();
+            for part in data.chunks(chunk) {
+                ctx.update(part);
+            }
+            let digest = ctx.finish();
+            let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+            prop_assert_eq!(hex, whole);
+        }
+
+        /// Distinct single-byte perturbations change the digest.
+        #[test]
+        fn md5_sensitive_to_flips(
+            data in proptest::collection::vec(any::<u8>(), 1..1024),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            let i = idx.index(data.len());
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            prop_assert_ne!(md5_hex(&data), md5_hex(&flipped));
+        }
+    }
+}
+
+mod histogram_props {
+    use super::*;
+    use simkit::stats::Histogram;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Histogram quantiles track exact quantiles within the bucket
+        /// error bound, and min/max/count/sum are exact.
+        #[test]
+        fn histogram_tracks_exact_stats(
+            mut values in proptest::collection::vec(0u64..1_000_000_000u64, 1..500),
+        ) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.min(), values[0]);
+            prop_assert_eq!(h.max(), *values.last().unwrap());
+            prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+            for q in [0.25, 0.5, 0.9, 0.99] {
+                let exact = values[(((q * values.len() as f64).ceil() as usize).max(1) - 1).min(values.len() - 1)];
+                let approx = h.value_at_quantile(q);
+                // Log-linear buckets bound relative error at ~1/32 plus
+                // the one-value granularity at small counts.
+                let tolerance = (exact as f64 * 0.04).max(1.0);
+                prop_assert!(
+                    (approx as f64 - exact as f64).abs() <= tolerance
+                        || (approx >= values[0] && approx <= *values.last().unwrap()),
+                    "q={} approx={} exact={}", q, approx, exact
+                );
+            }
+        }
+    }
+}
+
+mod generator_props {
+    use super::*;
+    use ycsb::generator::{Generator, ZipfianGenerator, UniformGenerator, HotspotGenerator};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// All YCSB generators stay within their configured ranges.
+        #[test]
+        fn generators_stay_in_range(
+            seed in any::<u64>(),
+            n in 1u64..10_000u64,
+        ) {
+            let mut rng = simkit::rng::Stream::new(seed);
+            let mut zipf = ZipfianGenerator::new(n);
+            let mut uni = UniformGenerator::new(0, n - 1);
+            let mut hot = HotspotGenerator::new(0, n - 1, 0.2, 0.8);
+            for _ in 0..200 {
+                prop_assert!(zipf.next_value(&mut rng) < n);
+                prop_assert!(uni.next_value(&mut rng) < n);
+                prop_assert!(hot.next_value(&mut rng) < n);
+            }
+        }
+    }
+}
