@@ -81,7 +81,9 @@ fn scan_window(c: &mut Criterion) {
         b.iter(|| {
             let start = format!("PSS-000000|sensor-000|{start_ts:013}");
             let end = format!("PSS-000000|sensor-000|{:013}", start_ts + 200);
-            let rows = db.scan(start.as_bytes(), end.as_bytes(), usize::MAX).unwrap();
+            let rows = db
+                .scan(start.as_bytes(), end.as_bytes(), usize::MAX)
+                .unwrap();
             assert_eq!(rows.len(), 200);
             start_ts = (start_ts + 1009) % 99_000;
         })

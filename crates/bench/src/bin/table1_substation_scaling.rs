@@ -29,7 +29,11 @@ fn main() {
             "P={:<3} {:>6.1} kvps/s/sensor {}",
             r.substations,
             r.per_sensor,
-            if r.per_sensor >= 20.0 { "" } else { "  <-- BELOW FLOOR (invalid run)" }
+            if r.per_sensor >= 20.0 {
+                ""
+            } else {
+                "  <-- BELOW FLOOR (invalid run)"
+            }
         );
     }
 
@@ -39,7 +43,11 @@ fn main() {
             "P={:<3} {:>6.0} rows/query {}",
             r.substations,
             r.rows_per_query,
-            if r.rows_per_query >= 200.0 { "" } else { "  <-- below 200" }
+            if r.rows_per_query >= 200.0 {
+                ""
+            } else {
+                "  <-- below 200"
+            }
         );
     }
 

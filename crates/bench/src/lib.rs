@@ -31,15 +31,21 @@ pub const PAPER_TABLE2: [(usize, f64, f64, f64); 7] = [
 pub const PAPER_TABLE3: [(usize, [f64; 7]); 3] = [
     (
         2,
-        [21_909.0, 38_939.0, 63_076.0, 105_877.0, 114_508.0, 114_764.0, 115_486.0],
+        [
+            21_909.0, 38_939.0, 63_076.0, 105_877.0, 114_508.0, 114_764.0, 115_486.0,
+        ],
     ),
     (
         4,
-        [15_706.0, 33_612.0, 57_113.0, 90_160.0, 125_603.0, 132_100.0, 134_248.0],
+        [
+            15_706.0, 33_612.0, 57_113.0, 90_160.0, 125_603.0, 132_100.0, 134_248.0,
+        ],
     ),
     (
         8,
-        [9_806.0, 26_999.0, 56_822.0, 84_602.0, 133_940.0, 186_109.0, 182_815.0],
+        [
+            9_806.0, 26_999.0, 56_822.0, 84_602.0, 133_940.0, 186_109.0, 182_815.0,
+        ],
     ),
 ];
 
@@ -57,7 +63,11 @@ pub const PAPER_FIG8: [(usize, f64, f64); 7] = [
 
 /// Renders a measured-vs-paper comparison line.
 pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<28} measured {measured:>12.1}   paper {paper:>12.1}   ratio {ratio:>5.2}")
 }
 

@@ -6,19 +6,92 @@
 
 use bytes::Bytes;
 
-/// Backend-reported failure.
+/// How a backend failure should be treated by the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Retrying the operation can succeed (node briefly down, injected
+    /// fault, replica set temporarily unavailable).
+    Transient,
+    /// Retrying is pointless (corruption, bad configuration, I/O error
+    /// from the storage engine).
+    Permanent,
+}
+
+/// Backend-reported failure, classified for the retry machinery.
 #[derive(Clone, Debug)]
-pub struct BackendError(pub String);
+pub struct BackendError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl BackendError {
+    pub fn transient(message: impl Into<String>) -> BackendError {
+        BackendError {
+            kind: ErrorKind::Transient,
+            message: message.into(),
+        }
+    }
+
+    pub fn permanent(message: impl Into<String>) -> BackendError {
+        BackendError {
+            kind: ErrorKind::Permanent,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Transient
+    }
+}
 
 impl std::fmt::Display for BackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "backend error: {}", self.0)
+        let kind = match self.kind {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+        };
+        write!(f, "backend error ({kind}): {}", self.message)
     }
 }
 
 impl std::error::Error for BackendError {}
 
+/// Maps a gateway error onto the retry classification: `Unavailable` is
+/// worth retrying, everything else is not.
+impl From<gateway::GatewayError> for BackendError {
+    fn from(e: gateway::GatewayError) -> BackendError {
+        if e.is_transient() {
+            BackendError::transient(e.to_string())
+        } else {
+            BackendError::permanent(e.to_string())
+        }
+    }
+}
+
 pub type BackendResult<T> = Result<T, BackendError>;
+
+/// Degraded-mode counters a backend exposes for run accounting. All
+/// zeros for backends without a failure model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    pub failover_reads: u64,
+    pub under_replicated_writes: u64,
+    pub hinted_writes: u64,
+    pub replayed_hints: u64,
+    pub unavailable_errors: u64,
+}
+
+impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
+    fn from(r: gateway::cluster::ResilienceStats) -> ResilienceCounters {
+        ResilienceCounters {
+            failover_reads: r.failover_reads,
+            under_replicated_writes: r.under_replicated_writes,
+            hinted_writes: r.hinted_writes,
+            replayed_hints: r.replayed_hints,
+            unavailable_errors: r.unavailable_errors,
+        }
+    }
+}
 
 /// What the TPCx-IoT driver requires of a system under test.
 pub trait GatewayBackend: Send + Sync {
@@ -34,15 +107,21 @@ pub trait GatewayBackend: Send + Sync {
 
     /// Total rows the backend acknowledges having ingested (data check).
     fn ingested_count(&self) -> u64;
+
+    /// Degraded-mode accounting; backends without a failure model keep
+    /// the default all-zero counters.
+    fn resilience(&self) -> ResilienceCounters {
+        ResilienceCounters::default()
+    }
 }
 
 impl GatewayBackend for gateway::Cluster {
     fn insert(&self, key: &[u8], value: &[u8]) -> BackendResult<()> {
-        self.put(key, value).map_err(|e| BackendError(e.to_string()))
+        self.put(key, value).map_err(BackendError::from)
     }
 
     fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> BackendResult<Vec<(Bytes, Bytes)>> {
-        gateway::Cluster::scan(self, start, end, limit).map_err(|e| BackendError(e.to_string()))
+        gateway::Cluster::scan(self, start, end, limit).map_err(BackendError::from)
     }
 
     fn replication_factor(&self) -> usize {
@@ -51,6 +130,10 @@ impl GatewayBackend for gateway::Cluster {
 
     fn ingested_count(&self) -> u64 {
         self.stats().puts
+    }
+
+    fn resilience(&self) -> ResilienceCounters {
+        gateway::Cluster::resilience(self).into()
     }
 }
 
@@ -76,7 +159,9 @@ impl NullBackend {
 
 impl GatewayBackend for NullBackend {
     fn insert(&self, key: &[u8], value: &[u8]) -> BackendResult<()> {
-        let mix = key.iter().fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
+        let mix = key
+            .iter()
+            .fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
             ^ (value.len() as u64);
         self.sink
             .fetch_xor(mix, std::sync::atomic::Ordering::Relaxed);

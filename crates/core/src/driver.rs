@@ -11,6 +11,7 @@
 use crate::backend::GatewayBackend;
 use crate::datagen::ReadingGenerator;
 use crate::query::{execute, QuerySpec};
+use crate::retry::{with_retry, RetryPolicy};
 use crate::sensors::substation_key;
 use simkit::rng::{derive_seed, Stream};
 use simkit::stats::Moments;
@@ -35,6 +36,9 @@ pub struct DriverConfig {
     pub sweep_ms: u64,
     /// Queries per 10,000 ingested readings (spec: 5).
     pub queries_per_10k: u64,
+    /// Retry policy for inserts and queries (transient backend failures
+    /// are retried with backoff; permanent ones fail immediately).
+    pub retry: RetryPolicy,
 }
 
 impl DriverConfig {
@@ -47,6 +51,7 @@ impl DriverConfig {
             epoch_ms: 1_700_000_000_000,
             sweep_ms: 10,
             queries_per_10k: 5,
+            retry: RetryPolicy::DEFAULT,
         }
     }
 }
@@ -57,8 +62,11 @@ pub struct DriverReport {
     pub substation: String,
     pub ingested: u64,
     pub insert_failures: u64,
+    /// Insert retries that eventually resolved (or exhausted the policy).
+    pub insert_retries: u64,
     pub queries_executed: u64,
     pub query_failures: u64,
+    pub query_retries: u64,
     /// Readings aggregated per query.
     pub rows_per_query: Moments,
     pub elapsed_secs: f64,
@@ -80,17 +88,17 @@ pub fn run_driver(
     let threads = config.threads.min(config.kvps.max(1) as usize);
     let per_thread = config.kvps / threads as u64;
     let remainder = config.kvps % threads as u64;
-    let query_interval = if config.queries_per_10k == 0 {
-        u64::MAX
-    } else {
-        10_000 / config.queries_per_10k
-    };
+    let query_interval = 10_000u64
+        .checked_div(config.queries_per_10k)
+        .unwrap_or(u64::MAX);
 
     struct ThreadOutcome {
         ingested: u64,
         insert_failures: u64,
+        insert_retries: u64,
         queries: u64,
         query_failures: u64,
+        query_retries: u64,
         rows: Moments,
     }
 
@@ -103,6 +111,7 @@ pub fn run_driver(
             let quota = per_thread + if (t as u64) < remainder { 1 } else { 0 };
             let gen_seed = derive_seed(config.seed, 0xD0_0000 + t as u64);
             let query_seed = derive_seed(config.seed, 0x9E_0000 + t as u64);
+            let retry_seed = derive_seed(config.seed, 0xB0_0000 + t as u64);
             handles.push(scope.spawn(move || {
                 let mut gen = ReadingGenerator::for_thread(
                     substation.clone(),
@@ -114,18 +123,24 @@ pub fn run_driver(
                 );
                 let sensor_keys = gen.sensor_keys();
                 let mut query_rng = Stream::new(query_seed);
+                let mut retry_rng = Stream::new(retry_seed);
                 let mut out = ThreadOutcome {
                     ingested: 0,
                     insert_failures: 0,
+                    insert_retries: 0,
                     queries: 0,
                     query_failures: 0,
+                    query_retries: 0,
                     rows: Moments::new(),
                 };
                 let mut since_query = 0u64;
                 for _ in 0..quota {
                     let (k, v) = gen.next_kvp();
                     let op_start = Instant::now();
-                    match backend.insert(&k, &v) {
+                    let attempt =
+                        with_retry(&config.retry, &mut retry_rng, || backend.insert(&k, &v));
+                    out.insert_retries += attempt.retries;
+                    match attempt.result {
                         Ok(()) => {
                             measurements
                                 .record_ok(OpKind::Insert, op_start.elapsed().as_nanos() as u64);
@@ -146,7 +161,11 @@ pub fn run_driver(
                             gen.now_ms(),
                         );
                         let q_start = Instant::now();
-                        match execute(backend.as_ref(), &spec) {
+                        let attempt = with_retry(&config.retry, &mut retry_rng, || {
+                            execute(backend.as_ref(), &spec)
+                        });
+                        out.query_retries += attempt.retries;
+                        match attempt.result {
                             Ok(outcome) => {
                                 measurements
                                     .record_ok(OpKind::Scan, q_start.elapsed().as_nanos() as u64);
@@ -173,16 +192,20 @@ pub fn run_driver(
         substation,
         ingested: 0,
         insert_failures: 0,
+        insert_retries: 0,
         queries_executed: 0,
         query_failures: 0,
+        query_retries: 0,
         rows_per_query: Moments::new(),
         elapsed_secs: started.elapsed().as_secs_f64(),
     };
     for o in outcomes {
         report.ingested += o.ingested;
         report.insert_failures += o.insert_failures;
+        report.insert_retries += o.insert_retries;
         report.queries_executed += o.queries;
         report.query_failures += o.query_failures;
+        report.query_retries += o.query_retries;
         report.rows_per_query = merge_moments(report.rows_per_query, o.rows);
     }
     report
@@ -198,8 +221,7 @@ fn merge_moments(a: Moments, b: Moments) -> Moments {
     }
     // Rebuild via sufficient statistics.
     let n = a.count() + b.count();
-    let mean =
-        (a.mean() * a.count() as f64 + b.mean() * b.count() as f64) / n as f64;
+    let mean = (a.mean() * a.count() as f64 + b.mean() * b.count() as f64) / n as f64;
     let delta = b.mean() - a.mean();
     let m2 = a.variance() * a.count() as f64
         + b.variance() * b.count() as f64

@@ -210,8 +210,7 @@ pub fn table3_experiment(nodes: usize, scale: u64) -> Vec<Table3Row> {
             let params = ModelParams::hbase_testbed(nodes);
             // Size runs so every point gets ≥ 1800 simulated seconds at
             // the expected rate; the paper binary-searched row counts.
-            let kvps =
-                ((substations as u64) * 10_000_000 / scale.max(1)).max(200_000);
+            let kvps = ((substations as u64) * 10_000_000 / scale.max(1)).max(200_000);
             let it = run_iteration(&params, substations, kvps);
             Table3Row {
                 nodes,

@@ -82,7 +82,7 @@ pub fn encode_reading(r: &SensorReading) -> (Bytes, Bytes) {
     value.push(SEP);
     // Deterministic filler (the spec says "random text"; the content is
     // never read back, only its volume matters).
-    value.extend(std::iter::repeat(b'x').take(padding));
+    value.extend(std::iter::repeat_n(b'x', padding));
     debug_assert_eq!(key.len() + value.len(), KVP_SIZE);
     (Bytes::from(key), Bytes::from(value))
 }
@@ -190,7 +190,12 @@ mod tests {
     fn time_range_covers_exactly_the_window() {
         let mut r = reading();
         r.unit = "volts".into();
-        let (start, end) = sensor_time_range(&r.substation, &r.sensor, r.timestamp_ms, r.timestamp_ms + 5000);
+        let (start, end) = sensor_time_range(
+            &r.substation,
+            &r.sensor,
+            r.timestamp_ms,
+            r.timestamp_ms + 5000,
+        );
         let (k, _) = encode_reading(&r);
         assert!(k.as_ref() >= start.as_slice() && k.as_ref() < end.as_slice());
         r.timestamp_ms += 5000;

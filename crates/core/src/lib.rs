@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod pricing;
 pub mod query;
 pub mod report;
+pub mod retry;
 pub mod rules;
 pub mod runner;
 pub mod sensors;
@@ -57,5 +58,6 @@ pub use driver::DriverInstance;
 pub use keys::{decode_reading, encode_reading, SensorReading, KVP_SIZE};
 pub use metrics::{iotps, price_performance, BenchmarkMetrics};
 pub use query::{QueryKind, QueryOutcome, QuerySpec};
+pub use retry::{with_retry, RetryPolicy};
 pub use rules::{RuleReport, Rules};
 pub use runner::{BenchmarkConfig, BenchmarkOutcome, BenchmarkRunner};

@@ -76,6 +76,81 @@ impl BenchmarkMetrics {
     }
 }
 
+/// Degraded-run accounting for one benchmark iteration: what the retry
+/// layer and the cluster's failover path had to absorb.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceSummary {
+    /// Insert attempts beyond the first, across every driver thread.
+    pub insert_retries: u64,
+    /// Query attempts beyond the first.
+    pub query_retries: u64,
+    /// Inserts that failed even after retrying.
+    pub insert_failures: u64,
+    /// Backend-side failover/under-replication counters.
+    pub backend: crate::backend::ResilienceCounters,
+}
+
+impl ResilienceSummary {
+    /// Whether the iteration ran completely fault-free.
+    pub fn clean(&self) -> bool {
+        *self == ResilienceSummary::default()
+    }
+}
+
+/// The validity verdict of a (possibly degraded) run.
+///
+/// TPCx-IoT's execution rules make a run unpublishable when the SUT
+/// cannot sustain the ingest contract; this verdict applies the same
+/// logic to fault-injected runs: losing acknowledged data or starving
+/// the sensors below the per-sensor rate floor invalidates the run,
+/// while retries, failovers, and under-replicated-but-recovered writes
+/// merely degrade it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunValidity {
+    pub valid: bool,
+    /// Why the run is invalid (empty when valid).
+    pub reasons: Vec<String>,
+}
+
+impl RunValidity {
+    pub fn verdict(&self) -> &'static str {
+        if self.valid {
+            "VALID"
+        } else {
+            "INVALID"
+        }
+    }
+}
+
+/// Judges a degraded run: `acknowledged` is the number of inserts the
+/// driver saw succeed, `persisted` what the backend reports as ingested,
+/// and `per_sensor_rate` the measured execution's average rate judged
+/// against `min_per_sensor_rate` (spec: 20 kvps/s).
+pub fn degraded_run_verdict(
+    acknowledged: u64,
+    persisted: u64,
+    per_sensor_rate: f64,
+    min_per_sensor_rate: f64,
+) -> RunValidity {
+    let mut reasons = Vec::new();
+    if persisted < acknowledged {
+        reasons.push(format!(
+            "acknowledged data lost: {acknowledged} inserts acknowledged, \
+             only {persisted} persisted"
+        ));
+    }
+    if per_sensor_rate < min_per_sensor_rate {
+        reasons.push(format!(
+            "sensor starvation: {per_sensor_rate:.2} kvps/s per sensor \
+             below the {min_per_sensor_rate:.0} kvps/s floor"
+        ));
+    }
+    RunValidity {
+        valid: reasons.is_empty(),
+        reasons,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +196,32 @@ mod tests {
         let ppp = price_performance(cost, run);
         assert!((ppp - cost / iotps(run)).abs() < 1e-9);
         assert!((ppp - 1000.0).abs() < 1e-9); // $500k at 500 IoTps
+    }
+
+    #[test]
+    fn verdict_flags_loss_and_starvation() {
+        let ok = degraded_run_verdict(1000, 1000, 25.0, 20.0);
+        assert!(ok.valid);
+        assert_eq!(ok.verdict(), "VALID");
+
+        let lost = degraded_run_verdict(1000, 990, 25.0, 20.0);
+        assert!(!lost.valid);
+        assert!(lost.reasons[0].contains("acknowledged data lost"));
+
+        let starved = degraded_run_verdict(1000, 1000, 12.5, 20.0);
+        assert!(!starved.valid);
+        assert!(starved.reasons[0].contains("sensor starvation"));
+
+        let both = degraded_run_verdict(10, 5, 1.0, 20.0);
+        assert_eq!(both.reasons.len(), 2);
+    }
+
+    #[test]
+    fn clean_summary_detects_degradation() {
+        let mut s = ResilienceSummary::default();
+        assert!(s.clean());
+        s.insert_retries = 1;
+        assert!(!s.clean());
     }
 
     #[test]

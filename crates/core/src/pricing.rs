@@ -56,11 +56,7 @@ impl PriceSheet {
     /// component with a functionally equivalent one only if the reported
     /// performance and pricing quantities change by at most 2% — larger
     /// deviations require a re-run/withdrawal.
-    pub fn substitute(
-        &mut self,
-        part_number: &str,
-        replacement: LineItem,
-    ) -> Result<(), String> {
+    pub fn substitute(&mut self, part_number: &str, replacement: LineItem) -> Result<(), String> {
         let idx = self
             .items
             .iter()

@@ -81,6 +81,29 @@ pub fn full_disclosure_report(
             it.data_check.detail
         );
         let _ = writeln!(out, "{}", it.rule_report.summary());
+        let r = &it.resilience;
+        if r.clean() {
+            let _ = writeln!(out, "resilience: clean run (no retries, no failovers)");
+        } else {
+            let _ = writeln!(
+                out,
+                "resilience: {} insert retries, {} query retries, {} insert \
+                 failures; {} failover reads, {} under-replicated writes, \
+                 {} hinted, {} replayed, {} unavailable errors",
+                r.insert_retries,
+                r.query_retries,
+                r.insert_failures,
+                r.backend.failover_reads,
+                r.backend.under_replicated_writes,
+                r.backend.hinted_writes,
+                r.backend.replayed_hints,
+                r.backend.unavailable_errors,
+            );
+        }
+        let _ = writeln!(out, "run validity: {}", it.validity.verdict());
+        for reason in &it.validity.reasons {
+            let _ = writeln!(out, "  - {reason}");
+        }
     }
     let _ = writeln!(out, "\n--- Priced configuration ---");
     for item in &sheet.items {
@@ -110,8 +133,8 @@ pub fn full_disclosure_report(
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
-    use crate::runner::{BenchmarkRunner, SystemUnderTest};
     use crate::rules::Rules;
+    use crate::runner::{BenchmarkRunner, SystemUnderTest};
     use std::sync::Arc;
 
     struct MemSut(Arc<MemBackend>);
@@ -169,6 +192,8 @@ mod tests {
         assert!(fdr.contains("hbase.client.write.buffer = 8GB"));
         assert!(fdr.contains("warm-up"));
         assert!(fdr.contains("measured"));
+        assert!(fdr.contains("resilience: clean run"));
+        assert!(fdr.contains("run validity: VALID"));
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Bounded retries with exponential backoff for the driver's data path.
+//!
+//! The real TPCx-IoT kit runs over a database client (the HBase client)
+//! that retries transient region-server failures internally; this module
+//! gives the reproduction the same resilience, explicitly and
+//! deterministically:
+//!
+//! * retries are bounded by attempts *and* by a per-operation deadline,
+//! * backoff grows exponentially from `base_backoff` to `max_backoff`,
+//! * jitter is drawn from a caller-provided [`simkit::rng::Stream`], so a
+//!   fixed seed reproduces the exact backoff schedule,
+//! * only [`ErrorKind::Transient`](crate::backend::ErrorKind) failures
+//!   are retried — permanent errors surface immediately.
+
+use crate::backend::{BackendError, BackendResult};
+use simkit::rng::Stream;
+use std::time::{Duration, Instant};
+
+/// Retry policy for one class of operations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the operation including every retry.
+    pub deadline: Duration,
+    /// Fraction of the backoff randomised (0.0 = none, 0.5 = up to
+    /// ±50 %). Jitter decorrelates retry storms across threads.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// The driver's default for ingest and query operations: a handful
+    /// of quick retries, bounded well below a sensor sweep interval.
+    pub const DEFAULT: RetryPolicy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_millis(5),
+        deadline: Duration::from_secs(1),
+        jitter: 0.5,
+    };
+
+    /// No retries at all — failures surface on the first attempt.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        deadline: Duration::MAX,
+        jitter: 0.0,
+    };
+
+    /// The backoff before retry number `retry` (1-based), with jitter
+    /// drawn from `rng`. Pure given the stream state — a fixed seed
+    /// yields a fixed schedule.
+    pub fn backoff_for(&self, retry: u32, rng: &mut Stream) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // Scale by a factor in [1 - jitter, 1 + jitter].
+        let factor = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        exp.mul_f64(factor.max(0.0))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// The result of running an operation under a [`RetryPolicy`].
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    pub result: BackendResult<T>,
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries made (`attempts − 1`).
+    pub retries: u64,
+}
+
+/// Runs `op` until it succeeds, fails permanently, or exhausts the
+/// policy. Backoff sleeps happen between attempts.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    rng: &mut Stream,
+    mut op: impl FnMut() -> BackendResult<T>,
+) -> RetryOutcome<T> {
+    let started = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match op() {
+            Ok(value) => {
+                return RetryOutcome {
+                    result: Ok(value),
+                    attempts,
+                    retries: (attempts - 1) as u64,
+                }
+            }
+            Err(e) => {
+                let exhausted =
+                    attempts >= policy.max_attempts.max(1) || started.elapsed() >= policy.deadline;
+                if !e.is_transient() || exhausted {
+                    return RetryOutcome {
+                        result: Err(deadline_note(e, exhausted, attempts)),
+                        attempts,
+                        retries: (attempts - 1) as u64,
+                    };
+                }
+                let pause = policy.backoff_for(attempts, rng);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+    }
+}
+
+fn deadline_note(e: BackendError, exhausted: bool, attempts: u32) -> BackendError {
+    if exhausted && e.is_transient() {
+        BackendError {
+            kind: e.kind,
+            message: format!("{} (gave up after {attempts} attempts)", e.message),
+        }
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendError;
+    use simkit::rng::Stream;
+
+    #[test]
+    fn success_is_one_attempt() {
+        let mut rng = Stream::new(1);
+        let out = with_retry(&RetryPolicy::DEFAULT, &mut rng, || Ok::<_, BackendError>(7));
+        assert_eq!(out.result.unwrap(), 7);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let mut rng = Stream::new(2);
+        let mut failures_left = 3;
+        let policy = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::DEFAULT
+        };
+        let out = with_retry(&policy, &mut rng, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(BackendError::transient("flaky"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.result.unwrap(), 42);
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.retries, 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut rng = Stream::new(3);
+        let mut calls = 0;
+        let out = with_retry(&RetryPolicy::DEFAULT, &mut rng, || {
+            calls += 1;
+            Err::<(), _>(BackendError::permanent("corrupt"))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls, 1, "permanent errors must not be retried");
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut rng = Stream::new(4);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::DEFAULT
+        };
+        let mut calls = 0u32;
+        let out = with_retry(&policy, &mut rng, || {
+            calls += 1;
+            Err::<(), _>(BackendError::transient("always"))
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out.attempts, 3);
+        let err = out.result.unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.message.contains("gave up after 3 attempts"));
+    }
+
+    #[test]
+    fn deadline_caps_retries() {
+        let mut rng = Stream::new(5);
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(5),
+            deadline: Duration::from_millis(20),
+            jitter: 0.0,
+        };
+        let started = Instant::now();
+        let out = with_retry(&policy, &mut rng, || {
+            Err::<(), _>(BackendError::transient("slow"))
+        });
+        assert!(out.result.is_err());
+        assert!(out.attempts >= 2, "some retries happened");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "deadline stopped the loop"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            deadline: Duration::MAX,
+            jitter: 0.0,
+        };
+        let mut rng = Stream::new(6);
+        let series: Vec<_> = (1..=5).map(|r| policy.backoff_for(r, &mut rng)).collect();
+        assert_eq!(
+            series,
+            vec![
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(8),
+                Duration::from_millis(8),
+            ]
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::DEFAULT;
+        let schedule = |seed: u64| {
+            let mut rng = Stream::new(seed);
+            (1..=8)
+                .map(|r| policy.backoff_for(r, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(0xFEED), schedule(0xFEED));
+        assert_ne!(schedule(0xFEED), schedule(0xBEEF), "jitter actually varies");
+        for d in schedule(0xFEED) {
+            assert!(d <= policy.max_backoff.mul_f64(1.0 + policy.jitter));
+        }
+    }
+}

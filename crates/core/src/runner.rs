@@ -2,10 +2,12 @@
 //! iterations of warm-up + measured workload executions with data checks,
 //! system cleanup between iterations, and metric derivation.
 
-use crate::backend::GatewayBackend;
+use crate::backend::{GatewayBackend, ResilienceCounters};
 use crate::checks::{data_check, file_check, replication_check, CheckResult, KitManifest};
 use crate::driver::{run_driver, DriverConfig, DriverReport};
-use crate::metrics::{BenchmarkMetrics, MeasuredRun};
+use crate::metrics::{
+    degraded_run_verdict, BenchmarkMetrics, MeasuredRun, ResilienceSummary, RunValidity,
+};
 use crate::pricing::PriceSheet;
 use crate::rules::{validate, RuleReport, Rules, RunFacts};
 use crate::sensors::SENSORS_PER_SUBSTATION;
@@ -79,7 +81,11 @@ pub struct ExecutionOutcome {
     pub elapsed_secs: f64,
     pub ingested: u64,
     pub insert_failures: u64,
+    /// Insert attempts beyond the first (transient failures absorbed by
+    /// the retry layer).
+    pub insert_retries: u64,
     pub queries: u64,
+    pub query_retries: u64,
     pub avg_rows_per_query: f64,
     /// Per-substation ingest completion seconds.
     pub driver_secs: Vec<f64>,
@@ -94,6 +100,12 @@ pub struct IterationOutcome {
     pub measured: ExecutionOutcome,
     pub data_check: CheckResult,
     pub rule_report: RuleReport,
+    /// Retry/failover accounting over the whole iteration (warm-up +
+    /// measured; the backend counters reset with system cleanup).
+    pub resilience: ResilienceSummary,
+    /// Degraded-run verdict: acknowledged-data loss or sensor
+    /// starvation invalidates the iteration.
+    pub validity: RunValidity,
 }
 
 /// The full benchmark outcome.
@@ -107,14 +119,15 @@ pub struct BenchmarkOutcome {
 }
 
 impl BenchmarkOutcome {
-    /// A result is publishable when every check and rule passed.
+    /// A result is publishable when every check and rule passed and no
+    /// iteration lost acknowledged data or starved its sensors.
     pub fn publishable(&self) -> bool {
         self.prerequisite_checks.iter().all(|c| c.passed)
             && self.iterations.len() == 2
             && self
                 .iterations
                 .iter()
-                .all(|it| it.data_check.passed && it.rule_report.valid())
+                .all(|it| it.data_check.passed && it.rule_report.valid() && it.validity.valid)
     }
 }
 
@@ -174,7 +187,9 @@ impl BenchmarkRunner {
             elapsed_secs,
             ingested,
             insert_failures: reports.iter().map(|r| r.insert_failures).sum(),
+            insert_retries: reports.iter().map(|r| r.insert_retries).sum(),
             queries,
+            query_retries: reports.iter().map(|r| r.query_retries).sum(),
             avg_rows_per_query: if queries == 0 {
                 0.0
             } else {
@@ -218,21 +233,36 @@ impl BenchmarkRunner {
             // workload into the (un-purged) store.
             let expected = 2 * self.config.total_kvps;
             let check = data_check(sut.backend().as_ref(), expected);
-            let rule_report = validate(
-                &self.config.rules,
-                &RunFacts {
-                    elapsed_secs: measured.elapsed_secs.min(warmup.elapsed_secs),
-                    ingested_kvps: measured.ingested,
-                    substations: self.config.substations,
-                    sensors_per_substation: SENSORS_PER_SUBSTATION as u64,
-                    avg_rows_per_query: measured.avg_rows_per_query,
-                },
+            let facts = RunFacts {
+                elapsed_secs: measured.elapsed_secs.min(warmup.elapsed_secs),
+                ingested_kvps: measured.ingested,
+                substations: self.config.substations,
+                sensors_per_substation: SENSORS_PER_SUBSTATION as u64,
+                avg_rows_per_query: measured.avg_rows_per_query,
+            };
+            let rule_report = validate(&self.config.rules, &facts);
+            let resilience = ResilienceSummary {
+                insert_retries: warmup.insert_retries + measured.insert_retries,
+                query_retries: warmup.query_retries + measured.query_retries,
+                insert_failures: warmup.insert_failures + measured.insert_failures,
+                backend: sut.backend().resilience(),
+            };
+            // Acknowledged = what the drivers saw succeed across both
+            // executions; persisted = what the backend reports ingested.
+            let acknowledged = warmup.ingested + measured.ingested;
+            let validity = degraded_run_verdict(
+                acknowledged,
+                sut.backend().ingested_count(),
+                facts.per_sensor_rate(),
+                self.config.rules.min_per_sensor_rate,
             );
             iterations.push(IterationOutcome {
                 warmup,
                 measured,
                 data_check: check,
                 rule_report,
+                resilience,
+                validity,
             });
             // System cleanup between iterations (and after the last, so
             // the SUT is left pristine).
@@ -295,7 +325,7 @@ impl GatewayBackend for GatewaySutBackend {
         self.cluster
             .read()
             .put(key, value)
-            .map_err(|e| crate::backend::BackendError(e.to_string()))
+            .map_err(crate::backend::BackendError::from)
     }
 
     fn scan(
@@ -307,7 +337,7 @@ impl GatewayBackend for GatewaySutBackend {
         self.cluster
             .read()
             .scan(start, end, limit)
-            .map_err(|e| crate::backend::BackendError(e.to_string()))
+            .map_err(crate::backend::BackendError::from)
     }
 
     fn replication_factor(&self) -> usize {
@@ -316,6 +346,10 @@ impl GatewayBackend for GatewaySutBackend {
 
     fn ingested_count(&self) -> u64 {
         self.cluster.read().stats().puts
+    }
+
+    fn resilience(&self) -> ResilienceCounters {
+        self.cluster.read().resilience().into()
     }
 }
 

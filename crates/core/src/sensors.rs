@@ -48,19 +48,115 @@ struct Family {
 
 const FAMILIES: &[Family] = &[
     // Fig 3's four examples:
-    Family { name: "LTC gassing", prefix: "ltc-gas", unit: "ppm hydrogen", min: 0.0, max: 2000.0, decimals: 1, count: 24 },
-    Family { name: "MIS gas (H2)", prefix: "mis-h2", unit: "ppm hydrogen", min: 0.0, max: 5000.0, decimals: 1, count: 20 },
-    Family { name: "MIS gas (C2H2)", prefix: "mis-c2h2", unit: "ppm acetylene", min: 0.0, max: 500.0, decimals: 2, count: 20 },
-    Family { name: "PMU phase angle", prefix: "pmu-angle", unit: "degrees phase", min: -180.0, max: 180.0, decimals: 3, count: 30 },
-    Family { name: "PMU magnitude", prefix: "pmu-mag", unit: "kilovolts RMS", min: 0.0, max: 765.0, decimals: 2, count: 30 },
-    Family { name: "PMU frequency", prefix: "pmu-freq", unit: "hertz", min: 59.5, max: 60.5, decimals: 4, count: 12 },
-    Family { name: "Leakage current", prefix: "leak", unit: "milliamps to earth", min: 0.0, max: 50.0, decimals: 3, count: 24 },
+    Family {
+        name: "LTC gassing",
+        prefix: "ltc-gas",
+        unit: "ppm hydrogen",
+        min: 0.0,
+        max: 2000.0,
+        decimals: 1,
+        count: 24,
+    },
+    Family {
+        name: "MIS gas (H2)",
+        prefix: "mis-h2",
+        unit: "ppm hydrogen",
+        min: 0.0,
+        max: 5000.0,
+        decimals: 1,
+        count: 20,
+    },
+    Family {
+        name: "MIS gas (C2H2)",
+        prefix: "mis-c2h2",
+        unit: "ppm acetylene",
+        min: 0.0,
+        max: 500.0,
+        decimals: 2,
+        count: 20,
+    },
+    Family {
+        name: "PMU phase angle",
+        prefix: "pmu-angle",
+        unit: "degrees phase",
+        min: -180.0,
+        max: 180.0,
+        decimals: 3,
+        count: 30,
+    },
+    Family {
+        name: "PMU magnitude",
+        prefix: "pmu-mag",
+        unit: "kilovolts RMS",
+        min: 0.0,
+        max: 765.0,
+        decimals: 2,
+        count: 30,
+    },
+    Family {
+        name: "PMU frequency",
+        prefix: "pmu-freq",
+        unit: "hertz",
+        min: 59.5,
+        max: 60.5,
+        decimals: 4,
+        count: 12,
+    },
+    Family {
+        name: "Leakage current",
+        prefix: "leak",
+        unit: "milliamps to earth",
+        min: 0.0,
+        max: 50.0,
+        decimals: 3,
+        count: 24,
+    },
     // Auxiliary substation instrumentation:
-    Family { name: "Transformer oil temp", prefix: "oil-temp", unit: "degrees Celsius", min: -20.0, max: 140.0, decimals: 1, count: 16 },
-    Family { name: "Winding temp", prefix: "wind-temp", unit: "degrees Celsius", min: -20.0, max: 180.0, decimals: 1, count: 8 },
-    Family { name: "Ambient humidity", prefix: "humid", unit: "percent RH", min: 0.0, max: 100.0, decimals: 1, count: 4 },
-    Family { name: "Busbar load", prefix: "load", unit: "amps", min: 0.0, max: 4000.0, decimals: 1, count: 8 },
-    Family { name: "SF6 density", prefix: "sf6", unit: "kilopascal", min: 300.0, max: 800.0, decimals: 1, count: 4 },
+    Family {
+        name: "Transformer oil temp",
+        prefix: "oil-temp",
+        unit: "degrees Celsius",
+        min: -20.0,
+        max: 140.0,
+        decimals: 1,
+        count: 16,
+    },
+    Family {
+        name: "Winding temp",
+        prefix: "wind-temp",
+        unit: "degrees Celsius",
+        min: -20.0,
+        max: 180.0,
+        decimals: 1,
+        count: 8,
+    },
+    Family {
+        name: "Ambient humidity",
+        prefix: "humid",
+        unit: "percent RH",
+        min: 0.0,
+        max: 100.0,
+        decimals: 1,
+        count: 4,
+    },
+    Family {
+        name: "Busbar load",
+        prefix: "load",
+        unit: "amps",
+        min: 0.0,
+        max: 4000.0,
+        decimals: 1,
+        count: 8,
+    },
+    Family {
+        name: "SF6 density",
+        prefix: "sf6",
+        unit: "kilopascal",
+        min: 300.0,
+        max: 800.0,
+        decimals: 1,
+        count: 4,
+    },
 ];
 
 /// Builds the 200-sensor catalogue of one substation.
@@ -129,7 +225,13 @@ mod tests {
     #[test]
     fn paper_families_present() {
         let cat = catalogue();
-        for family in ["LTC gassing", "MIS gas (H2)", "MIS gas (C2H2)", "PMU phase angle", "Leakage current"] {
+        for family in [
+            "LTC gassing",
+            "MIS gas (H2)",
+            "MIS gas (C2H2)",
+            "PMU phase angle",
+            "Leakage current",
+        ] {
             assert!(
                 cat.iter().any(|s| s.family == family),
                 "family {family} from the paper's Fig 3 missing"

@@ -1,11 +1,18 @@
-//! The cluster: region servers, replication, routing, and the benchmark
-//! lifecycle operations (purge/restart).
+//! The cluster: region servers, replication, routing, replica failover,
+//! and the benchmark lifecycle operations (purge/restart).
+//!
+//! Failure semantics (exercised through [`crate::fault`]): a write is
+//! acknowledged iff it reached at least one live replica; replicas that
+//! are down receive a *hint* replayed when they return, so acknowledged
+//! data survives any crash that leaves one replica alive. Reads and
+//! scans fail over from a down primary to the first live replica.
 
+use crate::fault::{FaultPlan, FaultState, FaultVerdict};
 use crate::region::RegionMap;
 use crate::{GatewayError, Result};
 use bytes::Bytes;
 use iotkv::{Db, Options};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +31,9 @@ pub struct ClusterConfig {
     pub storage: Options,
     /// Directory that holds one subdirectory per node.
     pub data_dir: PathBuf,
+    /// Optional fault-injection plan (crashes, latency, transient
+    /// errors). `None` runs the cluster fault-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -34,6 +44,7 @@ impl ClusterConfig {
             split_points: Vec::new(),
             storage: Options::default(),
             data_dir: data_dir.into(),
+            fault_plan: None,
         }
     }
 
@@ -43,10 +54,14 @@ impl ClusterConfig {
 
     fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
-            return Err(GatewayError::Config("cluster needs at least one node".into()));
+            return Err(GatewayError::Config(
+                "cluster needs at least one node".into(),
+            ));
         }
         if self.replication_factor == 0 {
-            return Err(GatewayError::Config("replication factor must be positive".into()));
+            return Err(GatewayError::Config(
+                "replication factor must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -56,6 +71,24 @@ struct Node {
     db: Db,
     writes: AtomicU64,
     reads: AtomicU64,
+    /// Writes the node missed while down, replayed on restart.
+    hints: Mutex<Vec<(Vec<u8>, Vec<u8>)>>,
+}
+
+/// Counters describing how the cluster degraded under faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Reads and scans served by a replica because the primary was down.
+    pub failover_reads: u64,
+    /// Replica writes skipped because the replica was down (each one is
+    /// a hole the hint replay later fills).
+    pub under_replicated_writes: u64,
+    /// Writes queued as hints for down replicas.
+    pub hinted_writes: u64,
+    /// Hinted writes replayed into restarted nodes.
+    pub replayed_hints: u64,
+    /// Operations that failed with [`GatewayError::Unavailable`].
+    pub unavailable_errors: u64,
 }
 
 /// Point-in-time cluster statistics.
@@ -64,12 +97,25 @@ pub struct ClusterStats {
     pub puts: u64,
     pub gets: u64,
     pub scans: u64,
-    /// Physical replica writes performed (puts × effective replication).
+    /// Physical replica writes performed (puts × effective replication
+    /// when every replica is up).
     pub replica_writes: u64,
     pub regions: usize,
     /// Primary-write load per node.
     pub node_writes: Vec<u64>,
     pub node_reads: Vec<u64>,
+    /// The replication factor the operator asked for.
+    pub configured_replication: usize,
+    /// The factor actually applied (`min(configured, nodes)`).
+    pub effective_replication: usize,
+    /// Warning flag: the configured factor exceeded the node count, so
+    /// ingested data is stored with fewer copies than requested. The
+    /// TPCx-IoT replication prerequisite check must fail such a setup.
+    pub replication_clamped: bool,
+    /// Degraded-mode accounting (all zero on a fault-free run).
+    pub resilience: ResilienceStats,
+    /// Faults injected by the configured plan, if any.
+    pub faults: Option<crate::fault::FaultCounters>,
 }
 
 /// An in-process distributed gateway cluster.
@@ -77,10 +123,16 @@ pub struct Cluster {
     config: ClusterConfig,
     nodes: Vec<Node>,
     regions: RwLock<RegionMap>,
+    fault: Option<FaultState>,
     puts: AtomicU64,
     gets: AtomicU64,
     scans: AtomicU64,
     replica_writes: AtomicU64,
+    failover_reads: AtomicU64,
+    under_replicated_writes: AtomicU64,
+    hinted_writes: AtomicU64,
+    replayed_hints: AtomicU64,
+    unavailable_errors: AtomicU64,
 }
 
 impl Cluster {
@@ -95,6 +147,7 @@ impl Cluster {
                 db: Db::open(&dir, config.storage.clone())?,
                 writes: AtomicU64::new(0),
                 reads: AtomicU64::new(0),
+                hints: Mutex::new(Vec::new()),
             });
         }
         let replication = config.effective_replication();
@@ -110,15 +163,59 @@ impl Cluster {
             })
         };
         debug_assert!(regions.check_invariants().is_ok());
+        let fault = config
+            .fault_plan
+            .clone()
+            .map(|plan| FaultState::new(plan, node_count));
         Ok(Cluster {
             config,
             nodes,
             regions: RwLock::new(regions),
+            fault,
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             replica_writes: AtomicU64::new(0),
+            failover_reads: AtomicU64::new(0),
+            under_replicated_writes: AtomicU64::new(0),
+            hinted_writes: AtomicU64::new(0),
+            replayed_hints: AtomicU64::new(0),
+            unavailable_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Advances the fault clock (no-op without a plan).
+    fn fault_tick(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.tick())
+    }
+
+    /// Whether `node` refuses operations at fault-clock `now`.
+    fn node_down(&self, node: usize, now: u64) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.node_down(node, now))
+    }
+
+    /// Drains `node`'s hint queue into its storage engine if the node is
+    /// up — called before any operation touches the node, so a restarted
+    /// replica serves every write it was acknowledged for.
+    fn maybe_replay_hints(&self, node: usize, now: u64) {
+        if self.fault.is_none() || self.node_down(node, now) {
+            return;
+        }
+        let mut hints = self.nodes[node].hints.lock();
+        if hints.is_empty() {
+            return;
+        }
+        for (k, v) in hints.drain(..) {
+            if self.nodes[node].db.put(&k, &v).is_ok() {
+                self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
+                self.replayed_hints.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn unavailable(&self, msg: impl Into<String>) -> GatewayError {
+        self.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+        GatewayError::Unavailable(msg.into())
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -135,28 +232,110 @@ impl Cluster {
         self.config.effective_replication()
     }
 
-    /// Writes `key` to every replica of its region, synchronously.
+    /// Writes `key` to every live replica of its region, synchronously.
+    ///
+    /// Degraded mode: down replicas are skipped and receive a hint
+    /// (replayed on restart); the write is acknowledged as long as at
+    /// least one replica is live. With every replica down — or when the
+    /// fault plan injects a transient error — the put fails with
+    /// [`GatewayError::Unavailable`] and nothing is acknowledged.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let replicas = {
             let map = self.regions.read();
             map.lookup(key).replicas.clone()
         };
-        for &node in &replicas {
+        let now = self.fault_tick();
+        let mut live = Vec::with_capacity(replicas.len());
+        let mut down = Vec::new();
+        if let Some(fault) = &self.fault {
+            for &node in &replicas {
+                self.maybe_replay_hints(node, now);
+                match fault.judge(node, key, now) {
+                    FaultVerdict::Ok => live.push(node),
+                    FaultVerdict::NodeDown => down.push(node),
+                    // Fail before any replica write so a retried put
+                    // re-runs from a clean slate.
+                    FaultVerdict::Transient => {
+                        return Err(self.unavailable(format!("transient fault on node {node}")))
+                    }
+                }
+            }
+            if live.is_empty() {
+                return Err(self.unavailable("no live replica for write"));
+            }
+        } else {
+            live.extend_from_slice(&replicas);
+        }
+        for &node in &live {
             self.nodes[node].db.put(key, value)?;
             self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
         }
+        for &node in &down {
+            self.nodes[node]
+                .hints
+                .lock()
+                .push((key.to_vec(), value.to_vec()));
+            self.hinted_writes.fetch_add(1, Ordering::Relaxed);
+            self.under_replicated_writes.fetch_add(1, Ordering::Relaxed);
+        }
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.replica_writes
-            .fetch_add(replicas.len() as u64, Ordering::Relaxed);
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Reads `key` from its region's primary.
+    /// Reads `key` from its region's primary, failing over to the first
+    /// live replica when the primary is down.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let primary = self.regions.read().lookup(key).primary;
-        self.nodes[primary].reads.fetch_add(1, Ordering::Relaxed);
+        let (primary, replicas) = {
+            let map = self.regions.read();
+            let region = map.lookup(key);
+            (region.primary, region.replicas.clone())
+        };
+        let now = self.fault_tick();
+        let node = self.pick_read_node(primary, &replicas, key, now)?;
+        self.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
         self.gets.fetch_add(1, Ordering::Relaxed);
-        Ok(self.nodes[primary].db.get(key)?)
+        Ok(self.nodes[node].db.get(key)?)
+    }
+
+    /// Routing for reads/scans: the primary when live, otherwise the
+    /// first live replica (counted as a failover).
+    fn pick_read_node(
+        &self,
+        primary: usize,
+        replicas: &[usize],
+        key: &[u8],
+        now: u64,
+    ) -> Result<usize> {
+        let Some(fault) = &self.fault else {
+            return Ok(primary);
+        };
+        let mut chosen = None;
+        for node in
+            std::iter::once(primary).chain(replicas.iter().copied().filter(|&n| n != primary))
+        {
+            self.maybe_replay_hints(node, now);
+            if !fault.node_down(node, now) {
+                chosen = Some(node);
+                break;
+            }
+        }
+        let Some(node) = chosen else {
+            return Err(self.unavailable("no live replica for read"));
+        };
+        match fault.judge(node, key, now) {
+            FaultVerdict::Ok => {
+                if node != primary {
+                    self.failover_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(node)
+            }
+            FaultVerdict::NodeDown => Err(self.unavailable(format!("node {node} went down"))),
+            FaultVerdict::Transient => {
+                Err(self.unavailable(format!("transient fault on node {node}")))
+            }
+        }
     }
 
     /// Ordered scan of `[start, end)` across all covering regions, up to
@@ -166,7 +345,7 @@ impl Cluster {
             return Ok(Vec::new());
         }
         self.scans.fetch_add(1, Ordering::Relaxed);
-        let targets: Vec<(usize, Bytes, Bytes)> = {
+        let targets: Vec<(usize, Vec<usize>, Bytes, Bytes)> = {
             let map = self.regions.read();
             map.covering(start, end)
                 .into_iter()
@@ -181,15 +360,17 @@ impl Cluster {
                     } else {
                         Bytes::copy_from_slice(end)
                     };
-                    (r.primary, lo, hi)
+                    (r.primary, r.replicas.clone(), lo, hi)
                 })
                 .collect()
         };
+        let now = self.fault_tick();
         let mut rows = Vec::new();
-        for (node, lo, hi) in targets {
+        for (primary, replicas, lo, hi) in targets {
             if rows.len() >= limit {
                 break;
             }
+            let node = self.pick_read_node(primary, &replicas, &lo, now)?;
             self.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
             let mut part = self.nodes[node].db.scan(&lo, &hi, limit - rows.len())?;
             rows.append(&mut part);
@@ -221,7 +402,9 @@ impl Cluster {
     /// Round-robin rebalance of region primaries across nodes.
     pub fn rebalance(&self) -> usize {
         let replication = self.effective_replication();
-        self.regions.write().rebalance(self.nodes.len(), replication)
+        self.regions
+            .write()
+            .rebalance(self.nodes.len(), replication)
     }
 
     /// Flushes every node's storage engine to disk.
@@ -248,17 +431,41 @@ impl Cluster {
             std::fs::remove_dir_all(&placeholder_dir).ok();
             node.writes.store(0, Ordering::Relaxed);
             node.reads.store(0, Ordering::Relaxed);
+            node.hints.lock().clear();
         }
         self.puts.store(0, Ordering::Relaxed);
         self.gets.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
         self.replica_writes.store(0, Ordering::Relaxed);
+        self.failover_reads.store(0, Ordering::Relaxed);
+        self.under_replicated_writes.store(0, Ordering::Relaxed);
+        self.hinted_writes.store(0, Ordering::Relaxed);
+        self.replayed_hints.store(0, Ordering::Relaxed);
+        self.unavailable_errors.store(0, Ordering::Relaxed);
+        // Restart the fault plan too: each iteration faces the same
+        // schedule, so warm-up and measured runs degrade identically.
+        self.fault = self
+            .config
+            .fault_plan
+            .clone()
+            .map(|plan| FaultState::new(plan, self.nodes.len()));
         Ok(())
     }
 
     /// Storage-engine statistics of one node.
     pub fn node_db_stats(&self, node: usize) -> iotkv::DbStats {
         self.nodes[node].db.stats()
+    }
+
+    /// Degraded-mode counters only (a cheap subset of [`Cluster::stats`]).
+    pub fn resilience(&self) -> ResilienceStats {
+        ResilienceStats {
+            failover_reads: self.failover_reads.load(Ordering::Relaxed),
+            under_replicated_writes: self.under_replicated_writes.load(Ordering::Relaxed),
+            hinted_writes: self.hinted_writes.load(Ordering::Relaxed),
+            replayed_hints: self.replayed_hints.load(Ordering::Relaxed),
+            unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
+        }
     }
 
     pub fn stats(&self) -> ClusterStats {
@@ -278,6 +485,11 @@ impl Cluster {
                 .iter()
                 .map(|n| n.reads.load(Ordering::Relaxed))
                 .collect(),
+            configured_replication: self.config.replication_factor,
+            effective_replication: self.config.effective_replication(),
+            replication_clamped: self.config.replication_factor > self.config.nodes,
+            resilience: self.resilience(),
+            faults: self.fault.as_ref().map(|f| f.counters()),
         }
     }
 }
@@ -421,14 +633,119 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_ingest() {
+    fn replication_clamp_is_flagged() {
+        let c = small_cluster("clamp-flag", 2, &[]);
+        let stats = c.stats();
+        assert_eq!(stats.configured_replication, 3);
+        assert_eq!(stats.effective_replication, 2);
+        assert!(stats.replication_clamped, "2 nodes cannot hold 3 copies");
+        let full = small_cluster("clamp-ok", 3, &[]);
+        assert!(!full.stats().replication_clamped);
+        destroy(full);
+        destroy(c);
+    }
+
+    #[test]
+    fn failover_and_hinted_handoff_preserve_acked_writes() {
+        use crate::fault::FaultPlan;
+        // Ops 0..: put a (1 tick), crash node 0 for ops [1, 4), then:
+        // put b (down: hinted), get b (failover), get b (restarted).
+        let mut config = ClusterConfig::new(tmpdir("failover"), 3);
+        config.storage = Options::small();
+        config.fault_plan = Some(FaultPlan::quiet(9).with_crash(0, 1, Some(3)));
+        let c = Cluster::start(config).unwrap();
+        assert_eq!(c.stats().regions, 1, "single region, primary = node 0");
+
+        c.put(b"a", b"v1").unwrap(); // op 0: all replicas up
+        c.put(b"b", b"v2").unwrap(); // op 1: node 0 down, acked by 2 replicas
+        let r = c.resilience();
+        assert_eq!(r.under_replicated_writes, 1);
+        assert_eq!(r.hinted_writes, 1);
+
+        // op 2: primary down → replica serves the read.
+        assert_eq!(c.get(b"b").unwrap().unwrap().as_ref(), b"v2");
+        assert_eq!(c.resilience().failover_reads, 1);
+
+        // op 3: still down; op 4: restarted — hint replay fills node 0
+        // before the primary read, so the acked write is visible.
+        assert_eq!(c.get(b"b").unwrap().unwrap().as_ref(), b"v2");
+        assert_eq!(c.get(b"b").unwrap().unwrap().as_ref(), b"v2");
+        let r = c.resilience();
+        assert_eq!(r.replayed_hints, 1);
+        assert_eq!(r.unavailable_errors, 0);
+        destroy(c);
+    }
+
+    #[test]
+    fn all_replicas_down_is_unavailable() {
+        use crate::fault::FaultPlan;
+        let mut config = ClusterConfig::new(tmpdir("alldown"), 1);
+        config.storage = Options::small();
+        config.replication_factor = 1;
+        config.fault_plan = Some(FaultPlan::quiet(4).with_crash(0, 0, None));
+        let c = Cluster::start(config).unwrap();
+        assert!(matches!(
+            c.put(b"k", b"v"),
+            Err(GatewayError::Unavailable(_))
+        ));
+        assert!(matches!(c.get(b"k"), Err(GatewayError::Unavailable(_))));
+        assert!(matches!(
+            c.scan(b"a", b"z", 10),
+            Err(GatewayError::Unavailable(_))
+        ));
+        let r = c.resilience();
+        assert_eq!(r.unavailable_errors, 3);
+        assert_eq!(c.stats().puts, 0, "nothing was acknowledged");
+        destroy(c);
+    }
+
+    #[test]
+    fn transient_faults_resolve_under_retry() {
+        use crate::fault::FaultPlan;
+        let mut config = ClusterConfig::new(tmpdir("transient"), 3);
+        config.storage = Options::small();
+        config.fault_plan = Some(FaultPlan::quiet(11).with_transient(0.4, 2));
+        let c = Cluster::start(config).unwrap();
+        let mut retries = 0u64;
+        for i in 0..100 {
+            let key = format!("k{i:03}");
+            loop {
+                match c.put(key.as_bytes(), b"v") {
+                    Ok(()) => break,
+                    Err(e) => {
+                        assert!(e.is_transient(), "only transient errors expected: {e}");
+                        retries += 1;
+                    }
+                }
+            }
+        }
+        assert!(retries > 0, "a 40% plan must inject something");
+        assert_eq!(c.stats().puts, 100, "every put eventually acked");
+        for i in 0..100 {
+            let key = format!("k{i:03}");
+            loop {
+                match c.get(key.as_bytes()) {
+                    Ok(v) => {
+                        assert_eq!(v.unwrap().as_ref(), b"v");
+                        break;
+                    }
+                    Err(e) => assert!(e.is_transient()),
+                }
+            }
+        }
+        destroy(c);
+    }
+
+    #[test]
+    fn concurrent_writers_are_consistent() {
         let c = Arc::new(small_cluster("conc", 3, &["m"]));
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let c = Arc::clone(&c);
                 std::thread::spawn(move || {
                     for i in 0..200 {
-                        c.put(format!("t{t}/k{i:04}").as_bytes(), &[0u8; 64]).unwrap();
+                        c.put(format!("t{t}/k{i:04}").as_bytes(), &[0u8; 64])
+                            .unwrap();
                     }
                 })
             })

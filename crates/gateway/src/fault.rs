@@ -1,0 +1,340 @@
+//! Deterministic fault injection for the gateway cluster.
+//!
+//! A [`FaultPlan`] is a *seeded description* of everything that goes
+//! wrong during a run: node crashes (with optional restart), per-node
+//! added latency, and transient `Unavailable` errors on a configurable
+//! fraction of operations. [`FaultState`] interprets the plan at
+//! runtime; [`Cluster`](crate::Cluster) consults it on every
+//! `put`/`get`/`scan`.
+//!
+//! Determinism is the design constraint — the same plan must produce the
+//! same faults so degraded runs are debuggable and comparable:
+//!
+//! * **Transient errors** are keyed on `(seed, node, hash(key))`, not on
+//!   a shared RNG: the first `burst_len(seed, node, key)` operations
+//!   touching a key on a node fail with `Unavailable`, later attempts
+//!   succeed. Because the burst length is a pure function of the key,
+//!   the total number of injected errors (and therefore the driver's
+//!   retry counters) is byte-identical across runs regardless of thread
+//!   interleaving.
+//! * **Crashes** are scheduled against the cluster's global operation
+//!   counter (`at_op`), which makes them exactly reproducible for
+//!   single-threaded drivers and reproducible up to interleaving for
+//!   concurrent ones. Node availability is a pure function of
+//!   `(plan, current op)` — no hidden state.
+//!
+//! A crash here models a region server dropping out of the cluster: the
+//! node refuses all operations while down. Writes it misses are queued
+//! as *hints* by the cluster and replayed when the node restarts, so an
+//! acknowledged write (one that reached at least one live replica) is
+//! never lost. Storage-level crash *durability* is exercised separately
+//! by `iotkv`'s own recovery tests.
+
+use simkit::rng::{derive_seed, Stream};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One scheduled node crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Node that goes down.
+    pub node: usize,
+    /// Global cluster operation count at which the node goes down.
+    pub at_op: u64,
+    /// Operations after `at_op` until the node restarts; `None` means it
+    /// stays down for the rest of the run.
+    pub down_for_ops: Option<u64>,
+}
+
+/// A seeded, declarative description of the faults injected into a run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Root seed; transient-error bursts derive from it.
+    pub seed: u64,
+    /// Probability that a `(node, key)` pair starts with a burst of
+    /// transient `Unavailable` errors.
+    pub transient_fraction: f64,
+    /// Maximum consecutive transient errors per `(node, key)`.
+    pub max_transient_burst: u32,
+    /// Extra latency added to every operation served by a slow node.
+    pub added_latency: Duration,
+    /// Nodes the latency applies to (empty: no latency injection).
+    pub slow_nodes: Vec<usize>,
+    /// Scheduled crashes.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base to build on).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_fraction: 0.0,
+            max_transient_burst: 3,
+            added_latency: Duration::ZERO,
+            slow_nodes: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Adds a crash of `node` at global op `at_op`, restarting after
+    /// `down_for_ops` further operations (`None`: never).
+    pub fn with_crash(mut self, node: usize, at_op: u64, down_for_ops: Option<u64>) -> FaultPlan {
+        self.crashes.push(CrashEvent {
+            node,
+            at_op,
+            down_for_ops,
+        });
+        self
+    }
+
+    /// Sets the transient-error intensity.
+    pub fn with_transient(mut self, fraction: f64, max_burst: u32) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        self.transient_fraction = fraction;
+        self.max_transient_burst = max_burst.max(1);
+        self
+    }
+
+    /// Adds `latency` to every operation on the listed nodes.
+    pub fn with_latency(mut self, latency: Duration, slow_nodes: Vec<usize>) -> FaultPlan {
+        self.added_latency = latency;
+        self.slow_nodes = slow_nodes;
+        self
+    }
+}
+
+/// Counters describing the faults actually injected.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient `Unavailable` errors injected.
+    pub transient_errors: u64,
+    /// Operations rejected because the addressed node was down.
+    pub down_rejections: u64,
+    /// Operations delayed by latency injection.
+    pub delayed_ops: u64,
+}
+
+/// What the fault layer decides about one operation on one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Proceed normally.
+    Ok,
+    /// The node is down; the caller should fail over or queue a hint.
+    NodeDown,
+    /// Fail this attempt with a transient `Unavailable` error.
+    Transient,
+}
+
+struct NodeFaults {
+    /// `hash(key) → transient attempts already failed` for keys whose
+    /// burst has not yet been exhausted.
+    bursts: Mutex<HashMap<u64, u32>>,
+    /// Whether the node was observed down on its last operation — set so
+    /// the cluster can replay hints exactly once per restart.
+    was_down: AtomicBool,
+}
+
+/// Runtime interpreter of a [`FaultPlan`].
+pub struct FaultState {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    nodes: Vec<NodeFaults>,
+    transient_errors: AtomicU64,
+    down_rejections: AtomicU64,
+    delayed_ops: AtomicU64,
+}
+
+/// FNV-1a over the key bytes — stable across runs and platforms.
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, node_count: usize) -> FaultState {
+        assert!(
+            plan.crashes.iter().all(|c| c.node < node_count),
+            "crash plan references a node outside the cluster"
+        );
+        let nodes = (0..node_count)
+            .map(|_| NodeFaults {
+                bursts: Mutex::new(HashMap::new()),
+                was_down: AtomicBool::new(false),
+            })
+            .collect();
+        FaultState {
+            plan,
+            ops: AtomicU64::new(0),
+            nodes,
+            transient_errors: AtomicU64::new(0),
+            down_rejections: AtomicU64::new(0),
+            delayed_ops: AtomicU64::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advances the global operation counter; call once per cluster-level
+    /// operation. Returns the operation's sequence number.
+    pub fn tick(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether `node` is down at global operation `now` — a pure function
+    /// of the plan, so two runs agree given the same op numbering.
+    pub fn node_down(&self, node: usize, now: u64) -> bool {
+        self.plan.crashes.iter().any(|c| {
+            c.node == node
+                && now >= c.at_op
+                && match c.down_for_ops {
+                    Some(d) => now < c.at_op + d,
+                    None => true,
+                }
+        })
+    }
+
+    /// The deterministic transient-burst length for `(node, key)`.
+    fn burst_len(&self, node: usize, key_hash: u64) -> u32 {
+        if self.plan.transient_fraction <= 0.0 {
+            return 0;
+        }
+        let seed = derive_seed(derive_seed(self.plan.seed, node as u64), key_hash);
+        let mut s = Stream::new(seed);
+        if s.chance(self.plan.transient_fraction) {
+            1 + s.next_below(self.plan.max_transient_burst as u64) as u32
+        } else {
+            0
+        }
+    }
+
+    /// Judges one operation on `node` at global op `now`, applying
+    /// latency injection as a side effect.
+    pub fn judge(&self, node: usize, key: &[u8], now: u64) -> FaultVerdict {
+        if self.node_down(node, now) {
+            self.nodes[node].was_down.store(true, Ordering::Release);
+            self.down_rejections.fetch_add(1, Ordering::Relaxed);
+            return FaultVerdict::NodeDown;
+        }
+        if self.plan.added_latency > Duration::ZERO && self.plan.slow_nodes.contains(&node) {
+            self.delayed_ops.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.plan.added_latency);
+        }
+        if self.plan.transient_fraction > 0.0 {
+            let h = hash_key(key);
+            let burst = self.burst_len(node, h);
+            if burst > 0 {
+                let mut bursts = self.nodes[node]
+                    .bursts
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let seen = bursts.entry(h).or_insert(0);
+                if *seen < burst {
+                    *seen += 1;
+                    self.transient_errors.fetch_add(1, Ordering::Relaxed);
+                    return FaultVerdict::Transient;
+                }
+                // Burst exhausted; drop the entry to bound memory.
+                bursts.remove(&h);
+            }
+        }
+        FaultVerdict::Ok
+    }
+
+    /// Returns `true` exactly once after `node` comes back up — the
+    /// cluster replays that node's hinted writes on this edge.
+    pub fn take_restart(&self, node: usize, now: u64) -> bool {
+        !self.node_down(node, now) && self.nodes[node].was_down.swap(false, Ordering::AcqRel)
+    }
+
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            down_rejections: self.down_rejections.load(Ordering::Relaxed),
+            delayed_ops: self.delayed_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let f = FaultState::new(FaultPlan::quiet(1), 3);
+        for i in 0..1000u64 {
+            let now = f.tick();
+            assert_eq!(now, i);
+            assert_eq!(f.judge((i % 3) as usize, b"k", now), FaultVerdict::Ok);
+        }
+        assert_eq!(f.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn crash_window_follows_op_counter() {
+        let plan = FaultPlan::quiet(2).with_crash(1, 10, Some(5));
+        let f = FaultState::new(plan, 2);
+        assert!(!f.node_down(1, 9));
+        assert!(f.node_down(1, 10));
+        assert!(f.node_down(1, 14));
+        assert!(!f.node_down(1, 15));
+        assert!(!f.node_down(0, 12), "other nodes unaffected");
+    }
+
+    #[test]
+    fn permanent_crash_never_restarts() {
+        let plan = FaultPlan::quiet(3).with_crash(0, 5, None);
+        let f = FaultState::new(plan, 1);
+        assert!(!f.node_down(0, 4));
+        assert!(f.node_down(0, u64::MAX));
+    }
+
+    #[test]
+    fn transient_bursts_are_per_key_deterministic() {
+        let plan = FaultPlan::quiet(42).with_transient(0.5, 3);
+        let run = || {
+            let f = FaultState::new(plan.clone(), 2);
+            let mut errors = 0u64;
+            for k in 0..200u64 {
+                let key = format!("key-{k:04}");
+                // Retry each op until it goes through, as the driver would.
+                while f.judge(0, key.as_bytes(), f.tick()) == FaultVerdict::Transient {
+                    errors += 1;
+                }
+            }
+            (errors, f.counters())
+        };
+        let (e1, c1) = run();
+        let (e2, c2) = run();
+        assert_eq!(e1, e2, "same plan, same injected errors");
+        assert_eq!(c1, c2);
+        assert!(e1 > 0, "a 50% fraction must inject something");
+        // Bursts are finite: every key eventually succeeded (loop ended).
+    }
+
+    #[test]
+    fn restart_edge_reported_once() {
+        let plan = FaultPlan::quiet(7).with_crash(0, 0, Some(3));
+        let f = FaultState::new(plan, 1);
+        assert_eq!(f.judge(0, b"k", 0), FaultVerdict::NodeDown);
+        assert_eq!(f.judge(0, b"k", 1), FaultVerdict::NodeDown);
+        assert!(!f.take_restart(0, 2), "still down");
+        assert!(f.take_restart(0, 3), "first op after restart sees the edge");
+        assert!(!f.take_restart(0, 4), "edge consumed");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cluster")]
+    fn crash_plan_validated_against_node_count() {
+        FaultState::new(FaultPlan::quiet(0).with_crash(5, 0, None), 2);
+    }
+}

@@ -22,10 +22,12 @@
 //! unchanged.
 
 pub mod cluster;
+pub mod fault;
 pub mod region;
 pub mod store_adapter;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterStats};
+pub use fault::{CrashEvent, FaultCounters, FaultPlan, FaultState, FaultVerdict};
 pub use region::{Region, RegionMap};
 pub use store_adapter::GatewayKvStore;
 
@@ -38,6 +40,16 @@ pub enum GatewayError {
     Routing(String),
     /// The requested configuration is invalid.
     Config(String),
+    /// The addressed replicas are temporarily unable to serve the
+    /// operation (node down, injected transient fault). Retryable.
+    Unavailable(String),
+}
+
+impl GatewayError {
+    /// Whether retrying the failed operation can succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GatewayError::Unavailable(_))
+    }
 }
 
 impl std::fmt::Display for GatewayError {
@@ -46,6 +58,7 @@ impl std::fmt::Display for GatewayError {
             GatewayError::Storage(e) => write!(f, "storage: {e}"),
             GatewayError::Routing(msg) => write!(f, "routing: {msg}"),
             GatewayError::Config(msg) => write!(f, "config: {msg}"),
+            GatewayError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

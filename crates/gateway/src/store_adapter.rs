@@ -25,12 +25,28 @@ impl GatewayKvStore {
     }
 
     fn storage_key(table: &str, key: &str) -> Vec<u8> {
-        let mut k = Vec::with_capacity(table.len() + key.len() + 1);
-        k.extend_from_slice(table.as_bytes());
+        let mut k = escape_table(table);
+        k.reserve(key.len() + 1);
         k.push(b'/');
         k.extend_from_slice(key.as_bytes());
         k
     }
+}
+
+/// Escapes the table name so a `/` inside it cannot collide with the
+/// table/key separator (table `"t/x"` + key `"a"` vs table `"t"` + key
+/// `"x/a"`): `%` → `%p`, `/` → `%s`. Row keys need no escaping — every
+/// byte after the first unescaped separator belongs to the key.
+fn escape_table(table: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(table.len() + 2);
+    for &b in table.as_bytes() {
+        match b {
+            b'%' => out.extend_from_slice(b"%p"),
+            b'/' => out.extend_from_slice(b"%s"),
+            _ => out.push(b),
+        }
+    }
+    out
 }
 
 fn put_varint(dst: &mut Vec<u8>, mut v: u64) {
@@ -44,12 +60,10 @@ fn put_varint(dst: &mut Vec<u8>, mut v: u64) {
 fn get_varint(src: &mut &[u8]) -> Option<u64> {
     let mut result: u64 = 0;
     let mut shift = 0u32;
-    let mut consumed = 0;
-    for &b in src.iter() {
-        consumed += 1;
+    for (i, &b) in src.iter().enumerate() {
         result |= ((b & 0x7f) as u64) << shift;
         if b & 0x80 == 0 {
-            *src = &src[consumed..];
+            *src = &src[i + 1..];
             return Some(result);
         }
         shift += 7;
@@ -125,8 +139,8 @@ impl KvStore for GatewayKvStore {
             .get(&k)
             .map_err(backend)?
             .ok_or(StoreError::NotFound)?;
-        let row = decode_fields(&value)
-            .ok_or_else(|| StoreError::Backend("undecodable row".into()))?;
+        let row =
+            decode_fields(&value).ok_or_else(|| StoreError::Backend("undecodable row".into()))?;
         Ok(project(row, fields))
     }
 
@@ -161,11 +175,10 @@ impl KvStore for GatewayKvStore {
         fields: Option<&[String]>,
     ) -> StoreResult<Vec<(String, FieldMap)>> {
         let lo = Self::storage_key(table, start_key);
-        let mut hi = Vec::with_capacity(table.len() + 1);
-        hi.extend_from_slice(table.as_bytes());
+        let mut hi = escape_table(table);
+        let prefix_len = hi.len() + 1;
         hi.push(b'/' + 1); // first key after the table's prefix space
         let rows = self.cluster.scan(&lo, &hi, count).map_err(backend)?;
-        let prefix_len = table.len() + 1;
         rows.into_iter()
             .map(|(k, v)| {
                 let key = String::from_utf8(k[prefix_len..].to_vec())
@@ -185,10 +198,8 @@ mod tests {
     use iotkv::Options;
 
     fn store(name: &str) -> (GatewayKvStore, std::path::PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "gateway-adapter-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gateway-adapter-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut config = ClusterConfig::new(&dir, 2);
         config.storage = Options::small();
@@ -215,11 +226,13 @@ mod tests {
     #[test]
     fn ycsb_operations_against_cluster() {
         let (s, dir) = store("ops");
-        s.insert("usertable", "user5", &row(&[("field0", "x")])).unwrap();
+        s.insert("usertable", "user5", &row(&[("field0", "x")]))
+            .unwrap();
         let got = s.read("usertable", "user5", None).unwrap();
         assert_eq!(got, row(&[("field0", "x")]));
 
-        s.update("usertable", "user5", &row(&[("field1", "y")])).unwrap();
+        s.update("usertable", "user5", &row(&[("field1", "y")]))
+            .unwrap();
         let got = s.read("usertable", "user5", None).unwrap();
         assert_eq!(got.len(), 2);
 
@@ -228,10 +241,16 @@ mod tests {
             .unwrap();
         assert_eq!(got, row(&[("field1", "y")]));
 
-        assert_eq!(s.read("usertable", "ghost", None), Err(StoreError::NotFound));
+        assert_eq!(
+            s.read("usertable", "ghost", None),
+            Err(StoreError::NotFound)
+        );
         assert_eq!(s.delete("usertable", "ghost"), Err(StoreError::NotFound));
         s.delete("usertable", "user5").unwrap();
-        assert_eq!(s.read("usertable", "user5", None), Err(StoreError::NotFound));
+        assert_eq!(
+            s.read("usertable", "user5", None),
+            Err(StoreError::NotFound)
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -239,7 +258,8 @@ mod tests {
     fn scan_stays_within_table() {
         let (s, dir) = store("scan");
         for i in 0..10 {
-            s.insert("t1", &format!("k{i}"), &row(&[("f", "v")])).unwrap();
+            s.insert("t1", &format!("k{i}"), &row(&[("f", "v")]))
+                .unwrap();
         }
         s.insert("t2", "k0", &row(&[("f", "other-table")])).unwrap();
         let rows = s.scan("t1", "k3", 4, None).unwrap();
@@ -248,6 +268,35 @@ mod tests {
         // Scanning past the end of t1 must not leak into t2.
         let rows = s.scan("t1", "k8", 100, None).unwrap();
         assert_eq!(rows.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn slash_in_table_name_does_not_collide() {
+        // Regression: table "t/x" + key "a" used to map to the same
+        // storage key as table "t" + key "x/a".
+        let (s, dir) = store("escape");
+        s.insert("t", "x/a", &row(&[("f", "outer")])).unwrap();
+        s.insert("t/x", "a", &row(&[("f", "inner")])).unwrap();
+        assert_eq!(s.read("t", "x/a", None).unwrap(), row(&[("f", "outer")]));
+        assert_eq!(s.read("t/x", "a", None).unwrap(), row(&[("f", "inner")]));
+
+        // Scans stay within their own table despite the shared prefix.
+        let rows = s.scan("t/x", "", 100, None).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "a");
+        let rows = s.scan("t", "", 100, None).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "x/a");
+
+        // Deleting one must not touch the other.
+        s.delete("t/x", "a").unwrap();
+        assert_eq!(s.read("t/x", "a", None), Err(StoreError::NotFound));
+        assert_eq!(s.read("t", "x/a", None).unwrap(), row(&[("f", "outer")]));
+
+        // Escape characters themselves survive the round trip.
+        s.insert("p%s", "k", &row(&[("f", "pct")])).unwrap();
+        assert_eq!(s.read("p%s", "k", None).unwrap(), row(&[("f", "pct")]));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -164,7 +164,9 @@ impl BlockCache {
     pub fn new(capacity_bytes: usize) -> BlockCache {
         let per_shard = capacity_bytes / SHARDS;
         BlockCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             enabled: capacity_bytes > 0,

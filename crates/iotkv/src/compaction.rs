@@ -16,8 +16,8 @@
 //! output lands on the bottom-most level that can contain the key —
 //! dropping them earlier would resurrect older versions living below.
 
-use crate::memtable::InternalKey;
 use crate::iter::{MergeIterator, Source};
+use crate::memtable::InternalKey;
 use crate::sstable::builder::TableMeta;
 use crate::sstable::TableBuilder;
 use crate::version::{table_path, FileMeta, Version};
@@ -77,8 +77,7 @@ fn key_range(files: &[FileMeta]) -> (Vec<u8>, Vec<u8>) {
 /// True if no level deeper than `target_level` holds data overlapping the
 /// key range — the condition under which tombstones can be dropped.
 fn is_bottom_most(version: &Version, target_level: usize, lo: &[u8], hi: &[u8]) -> bool {
-    ((target_level + 1)..version.levels.len())
-        .all(|l| version.overlapping(l, lo, hi).is_empty())
+    ((target_level + 1)..version.levels.len()).all(|l| version.overlapping(l, lo, hi).is_empty())
 }
 
 /// Byte budget of a level under the leveled strategy.
@@ -195,7 +194,11 @@ pub fn merge_to_tables(
         }
         if current.is_none() {
             let id = alloc_id();
-            let b = TableBuilder::create(&table_path(dir, id), opts.block_bytes, opts.bloom_bits_per_key)?;
+            let b = TableBuilder::create(
+                &table_path(dir, id),
+                opts.block_bytes,
+                opts.bloom_bits_per_key,
+            )?;
             current = Some((id, b));
         }
         let (id, builder) = current.as_mut().expect("just ensured");
@@ -322,7 +325,10 @@ mod tests {
         ];
         let mut next_id = 100u64;
         let outs = merge_to_tables(
-            vec![Source::Vec(newer.into_iter()), Source::Vec(older.into_iter())],
+            vec![
+                Source::Vec(newer.into_iter()),
+                Source::Vec(older.into_iter()),
+            ],
             &dir,
             &opts(),
             true,
@@ -394,7 +400,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outs.len(), 1);
-        assert_eq!(outs[0].1.entry_count, 2, "seq 9 and seq 5 kept, seq 2 dropped");
+        assert_eq!(
+            outs[0].1.entry_count, 2,
+            "seq 9 and seq 5 kept, seq 2 dropped"
+        );
         assert_eq!(outs[0].1.largest.seq, 5);
         std::fs::remove_dir_all(dir).ok();
     }

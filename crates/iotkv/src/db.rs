@@ -584,7 +584,9 @@ impl Db {
         {
             let imm = self.inner.imm.lock();
             for frozen in imm.iter() {
-                sources.push(Source::Vec(frozen.mem.range_entries(start, end).into_iter()));
+                sources.push(Source::Vec(
+                    frozen.mem.range_entries(start, end).into_iter(),
+                ));
             }
         }
         let (version, tables) = {
@@ -607,11 +609,7 @@ impl Db {
 
         let merged = MergeIterator::new(sources);
         let mut merged = merged;
-        let visible = VisibleIter::new(
-            &mut merged,
-            seq,
-            Some(Bytes::copy_from_slice(end)),
-        );
+        let visible = VisibleIter::new(&mut merged, seq, Some(Bytes::copy_from_slice(end)));
         let rows: Vec<(Bytes, Bytes)> = visible.take(limit).collect();
         if let Some(e) = merged.take_error() {
             return Err(e);
@@ -963,7 +961,11 @@ mod tests {
         b.put(b"b", b"2");
         b.delete(b"a");
         db.write(b).unwrap();
-        assert_eq!(db.get(b"a").unwrap(), None, "delete after put in batch wins");
+        assert_eq!(
+            db.get(b"a").unwrap(),
+            None,
+            "delete after put in batch wins"
+        );
         assert_eq!(db.get(b"b").unwrap().unwrap().as_ref(), b"2");
         drop(db);
         std::fs::remove_dir_all(dir).ok();
@@ -1142,7 +1144,8 @@ mod tests {
         opts.background_compaction = true;
         let db = Db::open(&dir, opts).unwrap();
         for i in 0..5000 {
-            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 32]).unwrap();
+            db.put(format!("key-{i:06}").as_bytes(), &[0u8; 32])
+                .unwrap();
         }
         // Wait for maintenance to settle.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
@@ -1203,7 +1206,9 @@ mod tests {
             db.put(format!("round-{round}").as_bytes(), b"x").unwrap();
             for prev in 0..=round {
                 assert!(
-                    db.get(format!("round-{prev}").as_bytes()).unwrap().is_some(),
+                    db.get(format!("round-{prev}").as_bytes())
+                        .unwrap()
+                        .is_some(),
                     "round {prev} data visible at round {round}"
                 );
             }

@@ -52,15 +52,13 @@ pub fn put_varint(dst: &mut Vec<u8>, mut v: u64) {
 pub fn get_varint(src: &mut &[u8]) -> Result<u64> {
     let mut result: u64 = 0;
     let mut shift = 0u32;
-    let mut consumed = 0usize;
-    for &b in src.iter() {
-        consumed += 1;
+    for (i, &b) in src.iter().enumerate() {
         if shift >= 64 {
             return Err(Error::corruption("varint overflow"));
         }
         result |= ((b & 0x7f) as u64) << shift;
         if b & 0x80 == 0 {
-            *src = &src[consumed..];
+            *src = &src[i + 1..];
             return Ok(result);
         }
         shift += 7;
@@ -104,16 +102,7 @@ mod tests {
 
     #[test]
     fn varint_round_trip_boundaries() {
-        let cases = [
-            0u64,
-            1,
-            127,
-            128,
-            16383,
-            16384,
-            u32::MAX as u64,
-            u64::MAX,
-        ];
+        let cases = [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX];
         for &v in &cases {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);

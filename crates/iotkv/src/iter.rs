@@ -230,9 +230,7 @@ mod tests {
             e("b", 2, ValueKind::Put, "b2"),
             e("c", 5, ValueKind::Put, "c5"),
         ];
-        let out: Vec<_> = VisibleIter::new(stream.into_iter(), u64::MAX, None)
-            .map(|(k, v)| (k, v))
-            .collect();
+        let out: Vec<_> = VisibleIter::new(stream.into_iter(), u64::MAX, None).collect();
         assert_eq!(
             out,
             vec![

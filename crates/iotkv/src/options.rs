@@ -136,16 +136,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut o = Options::default();
-        o.block_bytes = 16;
+        let o = Options {
+            block_bytes: 16,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
 
         let mut o = Options::default();
         o.l0_stall_trigger = o.l0_compaction_trigger - 1;
         assert!(o.validate().is_err());
 
-        let mut o = Options::default();
-        o.max_levels = 1;
+        let o = Options {
+            max_levels: 1,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
     }
 }

@@ -121,8 +121,8 @@ pub fn decode_index(data: &[u8]) -> Result<Vec<IndexEntry>> {
         if s.is_empty() {
             return Err(Error::corruption("index entry truncated"));
         }
-        let kind = ValueKind::from_u8(s[0])
-            .ok_or_else(|| Error::corruption("bad index kind byte"))?;
+        let kind =
+            ValueKind::from_u8(s[0]).ok_or_else(|| Error::corruption("bad index kind byte"))?;
         s = &s[1..];
         let offset = get_u64(&mut s)?;
         let len = get_u64(&mut s)?;
@@ -170,13 +170,31 @@ mod tests {
     #[test]
     fn index_round_trip() {
         let mut ib = IndexBuilder::new();
-        ib.add(&ik("m", 100), BlockHandle { offset: 0, len: 512 });
-        ib.add(&ik("z", 1), BlockHandle { offset: 516, len: 300 });
+        ib.add(
+            &ik("m", 100),
+            BlockHandle {
+                offset: 0,
+                len: 512,
+            },
+        );
+        ib.add(
+            &ik("z", 1),
+            BlockHandle {
+                offset: 516,
+                len: 300,
+            },
+        );
         let data = ib.finish();
         let idx = decode_index(&data).unwrap();
         assert_eq!(idx.len(), 2);
         assert_eq!(idx[0].last_key, ik("m", 100));
-        assert_eq!(idx[0].handle, BlockHandle { offset: 0, len: 512 });
+        assert_eq!(
+            idx[0].handle,
+            BlockHandle {
+                offset: 0,
+                len: 512
+            }
+        );
         assert_eq!(idx[1].handle.offset, 516);
     }
 }

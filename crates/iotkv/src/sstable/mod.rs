@@ -35,7 +35,7 @@ pub use builder::TableBuilder;
 pub use reader::{Table, TableIterator};
 
 /// Magic number terminating every table file.
-pub const TABLE_MAGIC: u64 = 0x1075_C1A7_B0_D47A_u64;
+pub const TABLE_MAGIC: u64 = 0x0010_75C1_A7B0_D47A_u64;
 
 /// Footer length: two (offset,len) u64 pairs + magic.
 pub const FOOTER_LEN: usize = 40;

@@ -258,8 +258,11 @@ mod tests {
         let path = dir.join(name);
         let mut b = TableBuilder::create(&path, 256, 10).unwrap();
         for i in 0..n {
-            b.add(&ik(&format!("key-{i:05}"), 100), format!("value-{i}").as_bytes())
-                .unwrap();
+            b.add(
+                &ik(&format!("key-{i:05}"), 100),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         b.finish().unwrap();
         let cache = Arc::new(BlockCache::new(1 << 20));
@@ -303,7 +306,10 @@ mod tests {
     fn seek_positions_correctly() {
         let (path, table) = build_table("seek.sst", 500);
         let mut it = table.iter();
-        it.seek(&InternalKey::seek_bound(Bytes::from_static(b"key-00250"), u64::MAX));
+        it.seek(&InternalKey::seek_bound(
+            Bytes::from_static(b"key-00250"),
+            u64::MAX,
+        ));
         let first = it.next().unwrap();
         assert_eq!(first.0.user_key.as_ref(), b"key-00250");
         // Seek past the end.
@@ -332,7 +338,10 @@ mod tests {
         b.finish().unwrap();
         let table = Arc::new(Table::open(&path, 2, Arc::new(BlockCache::new(0))).unwrap());
         assert_eq!(table.get(b"b", 100).unwrap(), Some(None));
-        assert_eq!(table.get(b"a", 100).unwrap().unwrap().unwrap().as_ref(), b"va");
+        assert_eq!(
+            table.get(b"a", 100).unwrap().unwrap().unwrap().as_ref(),
+            b"va"
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -47,7 +47,11 @@ fn torn_wal_tail_loses_only_the_torn_record() {
     let db = Db::open(&dir, opts()).unwrap();
     // Everything but (at most) the torn tail batch survives.
     let rows = db.scan(b"key-", b"key-~", usize::MAX).unwrap();
-    assert!(rows.len() >= 99, "only the torn record may be lost, got {}", rows.len());
+    assert!(
+        rows.len() >= 99,
+        "only the torn record may be lost, got {}",
+        rows.len()
+    );
     assert!(rows.len() <= 100);
     // The engine is fully writable afterwards.
     db.put(b"post-recovery", b"ok").unwrap();
@@ -85,7 +89,8 @@ fn corrupted_table_detected_on_read() {
     {
         let db = Db::open(&dir, opts()).unwrap();
         for i in 0..3000 {
-            db.put(format!("key-{i:05}").as_bytes(), &[7u8; 64]).unwrap();
+            db.put(format!("key-{i:05}").as_bytes(), &[7u8; 64])
+                .unwrap();
         }
         db.flush().unwrap();
     }
@@ -98,8 +103,8 @@ fn corrupted_table_detected_on_read() {
         .max_by_key(|p| fs::metadata(p).unwrap().len())
         .expect("a table exists");
     let mut data = fs::read(&table).unwrap();
-    for i in 100..120 {
-        data[i] ^= 0x5A;
+    for b in &mut data[100..120] {
+        *b ^= 0x5A;
     }
     fs::write(&table, &data).unwrap();
 
@@ -226,7 +231,8 @@ fn stale_wals_are_garbage_collected() {
     {
         let db = Db::open(&dir, opts()).unwrap();
         for i in 0..5000 {
-            db.put(format!("key-{i:05}").as_bytes(), &[3u8; 64]).unwrap();
+            db.put(format!("key-{i:05}").as_bytes(), &[3u8; 64])
+                .unwrap();
         }
         db.flush().unwrap();
     }

@@ -22,7 +22,17 @@ fn main() {
     println!("== Table I (8 nodes), rows scaled 1/{scale} ==");
     println!(
         "{:>3} {:>12} {:>12} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8} {:>6} {:>8}",
-        "P", "IoTps(sim)", "IoTps(ppr)", "s/s(sim)", "s/s(ppr)", "qavg(ms)", "qp95(ms)", "qmax", "rows/q", "cv", "spread%"
+        "P",
+        "IoTps(sim)",
+        "IoTps(ppr)",
+        "s/s(sim)",
+        "s/s(ppr)",
+        "qavg(ms)",
+        "qp95(ms)",
+        "qmax",
+        "rows/q",
+        "cv",
+        "spread%"
     );
     for &(p, rows_m, paper_iotps, paper_ps) in table1 {
         let params = ModelParams::hbase_testbed(8);
@@ -31,7 +41,11 @@ fn main() {
         let iotps = m.ingested as f64 / m.elapsed_secs;
         let ps = iotps / (p as f64 * 200.0);
         let s = m.query_latency_us.summary();
-        let min = m.driver_ingest_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = m
+            .driver_ingest_secs
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = m.driver_ingest_secs.iter().cloned().fold(0.0f64, f64::max);
         println!(
             "{:>3} {:>12.0} {:>12.0} {:>8.1} {:>8.1} | {:>9.1} {:>9.1} {:>8.0} {:>8.0} {:>6.2} {:>8.1}",
@@ -71,7 +85,10 @@ fn main() {
             let kvps = (p as u64 * 10_000_000 / scale).max(1_000_000);
             let m = run_execution(&params, p, kvps);
             let iotps = m.ingested as f64 / m.elapsed_secs;
-            println!("P={p:>3}  sim={iotps:>10.0}  paper={paper_iotps:>10.0}  ratio={:.2}", iotps / paper_iotps);
+            println!(
+                "P={p:>3}  sim={iotps:>10.0}  paper={paper_iotps:>10.0}  ratio={:.2}",
+                iotps / paper_iotps
+            );
         }
     }
 }

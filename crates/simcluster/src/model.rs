@@ -163,7 +163,11 @@ impl World {
 ///
 /// kvps are divided per the spec's equation (3): every driver gets
 /// `⌊K/P⌋`, the last also takes the remainder.
-pub fn run_execution(params: &ModelParams, substations: usize, total_kvps: u64) -> ExecutionMetrics {
+pub fn run_execution(
+    params: &ModelParams,
+    substations: usize,
+    total_kvps: u64,
+) -> ExecutionMetrics {
     params.validate().expect("invalid model parameters");
     assert!(substations > 0, "need at least one substation");
     assert!(total_kvps > 0, "need kvps to ingest");
@@ -285,8 +289,7 @@ fn issue_chunk(sim: &mut Sim<World>, d: usize, t: usize) {
     // Client-path time for `chunk` sequential ops.
     let per_op_us = w.p.net_us() + w.p.handler_cost_us(w.conc);
     let noise = 1.0 + 0.02 * (w.client_rng.next_f64() - 0.5);
-    let client_ready =
-        now + SimDuration::from_secs_f64(chunk as f64 * per_op_us * noise / 1e6);
+    let client_ready = now + SimDuration::from_secs_f64(chunk as f64 * per_op_us * noise / 1e6);
 
     // Placement: home node with probability `locality`, else uniform.
     let home = driver.home;
@@ -561,11 +564,7 @@ mod tests {
                 .iter()
                 .cloned()
                 .fold(f64::INFINITY, f64::min);
-            let max = m
-                .driver_ingest_secs
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let max = m.driver_ingest_secs.iter().cloned().fold(0.0f64, f64::max);
             (max - min) / max
         };
         let s2 = skew(2);
@@ -593,8 +592,16 @@ mod tests {
         p.pause_every_kvps = 300_000.0; // scale pause rate to the small run
         let m = run_execution(&p, 4, 2_000_000);
         let s = m.query_latency_us.summary();
-        assert!(s.cv > 1.0, "coefficient of variation {} should exceed 1", s.cv);
-        assert!(s.max > 200_000, "max query latency {}us should be pause-scale", s.max);
+        assert!(
+            s.cv > 1.0,
+            "coefficient of variation {} should exceed 1",
+            s.cv
+        );
+        assert!(
+            s.max > 200_000,
+            "max query latency {}us should be pause-scale",
+            s.max
+        );
         assert!(m.pauses > 0);
     }
 

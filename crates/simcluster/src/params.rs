@@ -105,7 +105,13 @@ impl ModelParams {
             handler_quad_us: 7.0,
             handler_beta: 4.0,
             group_commit_us: 90.0,
-            kvp_cost_anchors: vec![(1.0, 7.6), (2.0, 8.0), (4.0, 9.2), (8.0, 13.2), (16.0, 22.0)],
+            kvp_cost_anchors: vec![
+                (1.0, 7.6),
+                (2.0, 8.0),
+                (4.0, 9.2),
+                (8.0, 13.2),
+                (16.0, 22.0),
+            ],
             locality: 0.7,
             service_sigma: 1.0,
             query_seek_us: 8200.0,
@@ -203,7 +209,10 @@ mod tests {
         p.nodes = hi_n as usize * 2;
         assert!(p.kvp_cost_us() > hi_c, "extrapolates beyond last anchor");
         p.nodes = lo_n as usize;
-        assert!((p.kvp_cost_us() - lo_c).abs() < 1e-9, "exact at first anchor");
+        assert!(
+            (p.kvp_cost_us() - lo_c).abs() < 1e-9,
+            "exact at first anchor"
+        );
     }
 
     #[test]

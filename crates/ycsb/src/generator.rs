@@ -172,7 +172,8 @@ impl Generator for ZipfianGenerator {
         } else if uz < 1.0 + 0.5f64.powf(self.theta) {
             self.base + 1
         } else {
-            self.base + (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+            self.base
+                + (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
         };
         self.last = v.min(self.base + self.items - 1);
         self.last
@@ -498,9 +499,7 @@ mod tests {
     fn hotspot_honours_fractions() {
         let mut rng = stream();
         let mut g = HotspotGenerator::new(0, 999, 0.1, 0.9);
-        let hot = (0..50_000)
-            .filter(|_| g.next_value(&mut rng) < 100)
-            .count();
+        let hot = (0..50_000).filter(|_| g.next_value(&mut rng) < 100).count();
         let frac = hot as f64 / 50_000.0;
         assert!((frac - 0.9).abs() < 0.02, "hot fraction was {frac}");
     }

@@ -95,11 +95,7 @@ impl MemoryStore {
     }
 
     pub fn row_count(&self, table: &str) -> usize {
-        self.tables
-            .read()
-            .get(table)
-            .map(|t| t.len())
-            .unwrap_or(0)
+        self.tables.read().get(table).map(|t| t.len()).unwrap_or(0)
     }
 }
 
@@ -204,7 +200,10 @@ mod tests {
             .unwrap();
         let got = s.read("t", "user1", None).unwrap();
         assert_eq!(got.len(), 3);
-        assert_eq!(got.iter().find(|(n, _)| n == "field1").unwrap().1.as_ref(), b"B");
+        assert_eq!(
+            got.iter().find(|(n, _)| n == "field1").unwrap().1.as_ref(),
+            b"B"
+        );
 
         s.delete("t", "user1").unwrap();
         assert_eq!(s.read("t", "user1", None), Err(StoreError::NotFound));

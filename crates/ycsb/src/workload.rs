@@ -125,7 +125,9 @@ impl WorkloadConfig {
             + self.scan_proportion
             + self.read_modify_write_proportion;
         if (total - 1.0).abs() > 1e-6 {
-            return Err(format!("operation proportions sum to {total}, expected 1.0"));
+            return Err(format!(
+                "operation proportions sum to {total}, expected 1.0"
+            ));
         }
         if self.record_count == 0 {
             return Err("record_count must be positive".into());

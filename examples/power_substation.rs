@@ -48,9 +48,7 @@ fn main() {
     let sheet = PriceSheet::sample_cluster(3);
     let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
 
-    println!(
-        "running TPCx-IoT: {substations} substations, {total_kvps} kvps per execution ..."
-    );
+    println!("running TPCx-IoT: {substations} substations, {total_kvps} kvps per execution ...");
     let outcome = runner.run(&mut sut);
 
     println!("\n{}", executive_summary(&outcome, &config, &sheet));

@@ -38,7 +38,10 @@ fn main() {
         cluster.insert(&key, &value).expect("ingest succeeds");
     }
     let now_ms = generator.now_ms();
-    println!("ingested {} readings (virtual clock now {now_ms} ms)", generator.emitted());
+    println!(
+        "ingested {} readings (virtual clock now {now_ms} ms)",
+        generator.emitted()
+    );
 
     // 3. Run one of each dashboard query template against a PMU sensor.
     let sensors = generator.sensor_keys();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, build, full test suite (including
+# the fault-tolerance integration tests registered in crates/core).
+#
+#   ./scripts/ci.sh          # everything
+#   ./scripts/ci.sh quick    # skip the test suite (fmt + clippy + build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "== cargo test =="
+    cargo test --workspace --release -q
+fi
+
+echo "CI gate passed."

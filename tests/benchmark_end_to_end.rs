@@ -123,8 +123,11 @@ fn iterations_are_independent_after_cleanup() {
     config.required_replication = 2;
     let outcome = BenchmarkRunner::new(config, PriceSheet::sample_cluster(2)).run(&mut s);
     assert_eq!(outcome.iterations.len(), 2);
-    assert!(outcome.iterations[1].data_check.passed,
-        "second iteration data check: {}", outcome.iterations[1].data_check.detail);
+    assert!(
+        outcome.iterations[1].data_check.passed,
+        "second iteration data check: {}",
+        outcome.iterations[1].data_check.detail
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 

@@ -1,0 +1,210 @@
+//! Fault-injection integration tests: a mid-run node crash must not lose
+//! acknowledged writes, degraded runs must carry a validity verdict, and
+//! the whole fault/retry pipeline must be deterministic under a fixed
+//! seed.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tpcx_iot::driver::{run_driver, DriverConfig};
+use tpcx_iot::pricing::PriceSheet;
+use tpcx_iot::report::full_disclosure_report;
+use tpcx_iot::retry::{with_retry, RetryPolicy};
+use tpcx_iot::rules::Rules;
+use tpcx_iot::runner::{BenchmarkConfig, BenchmarkRunner, GatewaySut};
+use ycsb::measurement::Measurements;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tpcx-fault-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn small_options() -> iotkv::Options {
+    iotkv::Options {
+        memtable_bytes: 2 << 20,
+        block_bytes: 4 << 10,
+        l1_bytes: 8 << 20,
+        table_bytes: 2 << 20,
+        background_compaction: false,
+        ..iotkv::Options::default()
+    }
+}
+
+fn faulted_sut(dir: &std::path::Path, plan: gateway::FaultPlan) -> GatewaySut {
+    let mut config = gateway::ClusterConfig::new(dir, 3);
+    config.storage = small_options();
+    config.fault_plan = Some(plan);
+    GatewaySut::new(gateway::Cluster::start(config).unwrap())
+}
+
+fn lab_rules() -> Rules {
+    Rules {
+        min_elapsed_secs: 0.0,
+        min_per_sensor_rate: 0.0,
+        min_rows_per_query: 0.0,
+    }
+}
+
+/// The acceptance scenario: the region primary crashes mid-run and stays
+/// down for a stretch; hinted handoff and read failover must carry the
+/// benchmark through with zero acknowledged-write loss, and the FDR must
+/// disclose both the degradation counters and the validity verdict.
+#[test]
+fn mid_run_crash_loses_no_acked_writes() {
+    let dir = tmpdir("crash");
+    // Node 0 (primary of the single region) is down for ops [500, 2500).
+    let plan = gateway::FaultPlan::quiet(42).with_crash(0, 500, Some(2_000));
+    let mut sut = faulted_sut(&dir, plan);
+    let mut config = BenchmarkConfig::new(1, 8_000);
+    config.threads_per_driver = 2;
+    config.rules = lab_rules();
+    let sheet = PriceSheet::sample_cluster(3);
+    let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+
+    let outcome = runner.run(&mut sut);
+    assert_eq!(outcome.iterations.len(), 2);
+    for it in &outcome.iterations {
+        // Every acknowledged write persisted: the data check counts the
+        // full workload, and the verdict reports no acked-data loss.
+        assert!(it.data_check.passed, "{}", it.data_check.detail);
+        assert!(it.validity.valid, "unexpected: {:?}", it.validity.reasons);
+        assert_eq!(it.warmup.ingested + it.measured.ingested, 16_000);
+    }
+    // The crash re-arms each purge cycle, so iteration 1 shows the
+    // degradation: writes went under-replicated and reads failed over.
+    let first = &outcome.iterations[0].resilience;
+    assert!(
+        first.backend.under_replicated_writes > 0,
+        "crash window must force hinted writes: {first:?}"
+    );
+    assert!(
+        first.backend.hinted_writes == first.backend.under_replicated_writes,
+        "every under-replicated write leaves a hint: {first:?}"
+    );
+    assert_eq!(
+        first.backend.unavailable_errors, 0,
+        "two replicas stayed up; nothing may be rejected"
+    );
+    assert!(
+        outcome.publishable(),
+        "degraded-but-valid run is publishable"
+    );
+
+    let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+    assert!(fdr.contains("run validity: VALID"));
+    assert!(fdr.contains("under-replicated writes"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The 20 kvps/s-per-sensor floor: a run whose measured rate sits below
+/// the configured floor is INVALID (sensor starvation) and unpublishable,
+/// even when every write succeeded.
+#[test]
+fn starved_run_is_invalid_and_unpublishable() {
+    let dir = tmpdir("starve");
+    let mut sut = faulted_sut(&dir, gateway::FaultPlan::quiet(1));
+    let mut config = BenchmarkConfig::new(1, 4_000);
+    config.threads_per_driver = 2;
+    config.rules = lab_rules();
+    // An unreachable floor models the spec's 20 kvps/s rule at test
+    // scale: any in-process run sits far below it.
+    config.rules.min_per_sensor_rate = 1e15;
+    let sheet = PriceSheet::sample_cluster(3);
+    let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+
+    let outcome = runner.run(&mut sut);
+    for it in &outcome.iterations {
+        assert!(!it.validity.valid);
+        assert!(it.validity.reasons[0].contains("sensor starvation"));
+    }
+    assert!(!outcome.publishable());
+    let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+    assert!(fdr.contains("run validity: INVALID"));
+    assert!(fdr.contains("sensor starvation"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Acceptance criterion: a seeded fault plan reproduces byte-identical
+/// retry/failover counters across two runs. Single-threaded so the
+/// global op counter sees one deterministic interleaving; transient
+/// bursts are per-key deterministic regardless.
+#[test]
+fn seeded_fault_plan_reproduces_identical_counters() {
+    let run_once = |name: &str| {
+        let dir = tmpdir(name);
+        let mut config = gateway::ClusterConfig::new(&dir, 3);
+        config.storage = small_options();
+        config.fault_plan = Some(
+            gateway::FaultPlan::quiet(77)
+                .with_transient(0.3, 2)
+                .with_crash(0, 200, Some(400)),
+        );
+        let cluster = Arc::new(gateway::Cluster::start(config).unwrap());
+        let mut dc = DriverConfig::new(0, 2_000);
+        dc.threads = 1;
+        dc.seed = 0xFA_0175;
+        let report = run_driver(
+            &dc,
+            Arc::clone(&cluster) as Arc<dyn tpcx_iot::GatewayBackend>,
+            Arc::new(Measurements::new()),
+        );
+        let out = (
+            report.ingested,
+            report.insert_retries,
+            report.query_retries,
+            report.insert_failures,
+            cluster.resilience(),
+            cluster.stats().faults.expect("plan installed"),
+        );
+        drop(cluster);
+        std::fs::remove_dir_all(dir).ok();
+        out
+    };
+    let a = run_once("det-a");
+    let b = run_once("det-b");
+    assert_eq!(a, b, "same plan + seed must reproduce every counter");
+    assert!(a.1 > 0, "a 30% transient plan must force retries");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Retry/backoff is a pure function of (policy, seed): the jittered
+    /// backoff schedule and the attempt count never vary across runs.
+    #[test]
+    fn retry_backoff_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        failures in 0u32..5,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(80),
+            deadline: Duration::from_secs(5),
+            jitter: 0.5,
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = simkit::rng::Stream::new(seed);
+            (1..=5u32).map(|r| policy.backoff_for(r, &mut rng)).collect()
+        };
+        prop_assert_eq!(schedule(seed), schedule(seed));
+
+        let attempts = |seed: u64| {
+            let mut rng = simkit::rng::Stream::new(seed);
+            let mut left = failures;
+            let out = with_retry(&policy, &mut rng, || {
+                if left > 0 {
+                    left -= 1;
+                    Err(tpcx_iot::backend::BackendError::transient("flake"))
+                } else {
+                    Ok(())
+                }
+            });
+            (out.attempts, out.retries, out.result.is_ok(), rng.next_u64())
+        };
+        // Identical attempt counts AND identical post-run rng position:
+        // the retry loop consumed exactly the same jitter draws.
+        prop_assert_eq!(attempts(seed), attempts(seed));
+    }
+}

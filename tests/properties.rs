@@ -7,8 +7,7 @@ use tpcx_iot::metrics::{performance_run, MeasuredRun};
 /// Characters legal in substation/sensor keys and values for these tests
 /// (the schema uses `|` as separator, so components exclude it).
 fn component(max: usize) -> impl Strategy<Value = String> {
-    proptest::string::string_regex(&format!("[a-zA-Z0-9_.-]{{1,{max}}}"))
-        .expect("valid regex")
+    proptest::string::string_regex(&format!("[a-zA-Z0-9_.-]{{1,{max}}}")).expect("valid regex")
 }
 
 fn reading() -> impl Strategy<Value = SensorReading> {
@@ -23,13 +22,15 @@ fn reading() -> impl Strategy<Value = SensorReading> {
             u.len() >= 4 && u.len() <= 34
         })
         .prop_filter("value 1-20 chars", |(_, _, _, v, _)| v.len() <= 20)
-        .prop_map(|(substation, sensor, timestamp_ms, value, unit)| SensorReading {
-            substation,
-            sensor,
-            timestamp_ms,
-            value,
-            unit,
-        })
+        .prop_map(
+            |(substation, sensor, timestamp_ms, value, unit)| SensorReading {
+                substation,
+                sensor,
+                timestamp_ms,
+                value,
+                unit,
+            },
+        )
 }
 
 proptest! {
@@ -175,7 +176,7 @@ mod histogram_props {
 
 mod generator_props {
     use super::*;
-    use ycsb::generator::{Generator, ZipfianGenerator, UniformGenerator, HotspotGenerator};
+    use ycsb::generator::{Generator, HotspotGenerator, UniformGenerator, ZipfianGenerator};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]

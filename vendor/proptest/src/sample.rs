@@ -1,0 +1,42 @@
+//! `proptest::sample` — the [`Index`] helper for picking positions in
+//! runtime-sized collections.
+
+use crate::rng::TestRng;
+use crate::strategy::Arbitrary;
+
+/// An index into a collection whose size is only known inside the test.
+#[derive(Clone, Copy, Debug)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Maps this sample onto `[0, len)`. `len` must be positive.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_in_bounds() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+            assert_eq!(idx.index(1), 0);
+        }
+    }
+}

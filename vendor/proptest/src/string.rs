@@ -1,0 +1,278 @@
+//! `string_regex`: generate strings matching a small regex subset.
+//!
+//! Supported syntax — enough for this workspace's patterns: literal
+//! characters, `\`-escaped literals, character classes `[a-z0-9_.-]`
+//! (ranges and literals, literal `-` first or last), groups `(...)`,
+//! and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}` (with `*`/`+`
+//! capped at 8 repetitions).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Error for unsupported or malformed patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "string_regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// One character from the listed alternatives.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+    /// A parenthesised sub-pattern.
+    Group(Vec<Repeat>),
+}
+
+#[derive(Clone, Debug)]
+struct Repeat {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Returns a strategy generating strings that match `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() consumes left-to-right
+    let nodes = parse_sequence(&mut chars, None)?;
+    if !chars.is_empty() {
+        return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+    }
+    Ok(RegexStrategy { nodes })
+}
+
+fn parse_sequence(input: &mut Vec<char>, until: Option<char>) -> Result<Vec<Repeat>, Error> {
+    let mut out = Vec::new();
+    loop {
+        match input.last().copied() {
+            None => {
+                if until.is_some() {
+                    return Err(Error("unterminated group".into()));
+                }
+                return Ok(out);
+            }
+            Some(c) if Some(c) == until => {
+                input.pop();
+                return Ok(out);
+            }
+            Some(_) => {
+                let node = parse_atom(input)?;
+                let (min, max) = parse_quantifier(input)?;
+                out.push(Repeat { node, min, max });
+            }
+        }
+    }
+}
+
+fn parse_atom(input: &mut Vec<char>) -> Result<Node, Error> {
+    match input.pop() {
+        Some('[') => parse_class(input),
+        Some('(') => Ok(Node::Group(parse_sequence(input, Some(')'))?)),
+        Some('\\') => match input.pop() {
+            Some(c) => Ok(Node::Literal(c)),
+            None => Err(Error("dangling escape".into())),
+        },
+        Some(c)
+            if matches!(
+                c,
+                '|' | '*' | '+' | '?' | '{' | '}' | ']' | ')' | '.' | '^' | '$'
+            ) =>
+        {
+            Err(Error(format!("unsupported metacharacter {c:?}")))
+        }
+        Some(c) => Ok(Node::Literal(c)),
+        None => Err(Error("empty atom".into())),
+    }
+}
+
+fn parse_class(input: &mut Vec<char>) -> Result<Node, Error> {
+    let mut alts = Vec::new();
+    loop {
+        match input.pop() {
+            None => return Err(Error("unterminated character class".into())),
+            Some(']') => {
+                if alts.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(Node::Class(alts));
+            }
+            Some('\\') => match input.pop() {
+                Some(c) => alts.push(c),
+                None => return Err(Error("dangling escape in class".into())),
+            },
+            Some(c) => {
+                // `a-z` is a range only when `-` sits between two members
+                // (a trailing `-` before `]` is a literal).
+                let upper = input
+                    .len()
+                    .checked_sub(2)
+                    .and_then(|i| input.get(i))
+                    .copied();
+                match upper {
+                    Some(hi) if input.last() == Some(&'-') && hi != ']' => {
+                        input.pop(); // '-'
+                        input.pop(); // hi
+                        if (c as u32) > (hi as u32) {
+                            return Err(Error(format!("inverted range {c}-{hi}")));
+                        }
+                        for v in (c as u32)..=(hi as u32) {
+                            alts.push(
+                                char::from_u32(v)
+                                    .ok_or_else(|| Error(format!("bad range {c}-{hi}")))?,
+                            );
+                        }
+                    }
+                    _ => alts.push(c),
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(input: &mut Vec<char>) -> Result<(u32, u32), Error> {
+    match input.last().copied() {
+        Some('?') => {
+            input.pop();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            input.pop();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            input.pop();
+            Ok((1, 8))
+        }
+        Some('{') => {
+            input.pop();
+            let mut spec = String::new();
+            loop {
+                match input.pop() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err(Error("unterminated quantifier".into())),
+                }
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| Error(format!("bad quantifier {spec:?}")))
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec)?;
+                    Ok((n, n))
+                }
+                Some((lo, hi)) => {
+                    let min = parse(lo)?;
+                    let max = if hi.trim().is_empty() {
+                        min + 8
+                    } else {
+                        parse(hi)?
+                    };
+                    if min > max {
+                        return Err(Error(format!("inverted quantifier {spec:?}")));
+                    }
+                    Ok((min, max))
+                }
+            }
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+/// Strategy returned by [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    nodes: Vec<Repeat>,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.nodes, rng, &mut out);
+        out
+    }
+}
+
+fn emit(nodes: &[Repeat], rng: &mut TestRng, out: &mut String) {
+    for rep in nodes {
+        let count = if rep.min == rep.max {
+            rep.min
+        } else {
+            rep.min + rng.below((rep.max - rep.min + 1) as u64) as u32
+        };
+        for _ in 0..count {
+            match &rep.node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(alts) => out.push(alts[rng.below(alts.len() as u64) as usize]),
+                Node::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let s = string_regex(pattern).unwrap();
+        let mut rng = TestRng::new(0xCAFE);
+        (0..n).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for s in sample("[a-zA-Z0-9_.-]{1,16}", 200) {
+            assert!((1..=16).contains(&s.len()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn optional_group_and_escape() {
+        let decimal = regex_like("[0-9]{1,12}(\\.[0-9]{1,6})?");
+        for s in decimal {
+            let mut parts = s.splitn(2, '.');
+            let int = parts.next().unwrap();
+            assert!((1..=12).contains(&int.len()));
+            assert!(int.chars().all(|c| c.is_ascii_digit()));
+            if let Some(frac) = parts.next() {
+                assert!((1..=6).contains(&frac.len()));
+                assert!(frac.chars().all(|c| c.is_ascii_digit()));
+            }
+        }
+    }
+
+    fn regex_like(p: &str) -> Vec<String> {
+        sample(p, 300)
+    }
+
+    #[test]
+    fn exact_count_and_plus() {
+        for s in sample("a{3}b+", 50) {
+            assert!(s.starts_with("aaa"));
+            assert!(s[3..].chars().all(|c| c == 'b'));
+            assert!(!s[3..].is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Test-runner configuration.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only the fields this workspace's tests set are meaningful; the rest
+/// exist so struct-update syntax against `default()` compiles.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejection is bounded internally.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65_536,
+        }
+    }
+}

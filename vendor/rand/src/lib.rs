@@ -1,0 +1,74 @@
+//! Offline stand-in for `rand` — only the [`RngCore`] trait and
+//! [`Error`] type, which is all this workspace's generators implement.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by the
+//  deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.0 as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(self.0 as u8);
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut f = Fixed(7);
+        let mut buf = [0u8; 3];
+        f.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [7, 7, 7]);
+    }
+}
