@@ -1,0 +1,54 @@
+//! CI gate for exported metrics artifacts: every argument must be a
+//! non-empty file that parses as what its extension claims (`.json` →
+//! JSON snapshot, `.prom` → Prometheus text exposition). Exits non-zero
+//! on the first empty or unparsable export.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin check_export -- out/fault_sweep.json out/fault_sweep.prom
+//! ```
+
+use tpcx_iot::telemetry::{validate_json, validate_prometheus};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: check_export <export file> [more files ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let verdict = check(path);
+        match &verdict {
+            Ok(detail) => println!("[PASS] {path}: {detail}"),
+            Err(detail) => {
+                println!("[FAIL] {path}: {detail}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if content.trim().is_empty() {
+        return Err("export is empty".into());
+    }
+    if path.ends_with(".json") {
+        validate_json(&content).map_err(|e| format!("invalid JSON: {e}"))?;
+        Ok(format!("{} bytes of well-formed JSON", content.len()))
+    } else if path.ends_with(".prom") {
+        validate_prometheus(&content).map_err(|e| format!("invalid exposition: {e}"))?;
+        Ok(format!(
+            "{} samples",
+            content
+                .lines()
+                .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+                .count()
+        ))
+    } else {
+        Err("unknown export type (expected .json or .prom)".into())
+    }
+}

@@ -17,8 +17,12 @@ use gateway::FaultPlan;
 use iotkv::Options;
 use std::sync::Arc;
 use std::time::Duration;
-use tpcx_iot::driver::{run_driver, DriverConfig};
+use tpcx_iot::driver::{run_driver_with_telemetry, DriverConfig};
 use tpcx_iot::metrics::degraded_run_verdict;
+use tpcx_iot::telemetry::{
+    validate_sustained_rate, ClusterCounters, EngineCounters, MetricsRegistry, Phase,
+    PhaseSnapshot, RateViolation, RunTelemetry, SustainedRateConfig,
+};
 use tpcx_iot::GatewayBackend;
 use ycsb::measurement::Measurements;
 
@@ -34,6 +38,11 @@ struct SweepRow {
     replayed_hints: u64,
     unavailable: u64,
     verdict: String,
+    /// Per-case telemetry, exported to METRICS_EXPORT_DIR at the end.
+    snapshot: PhaseSnapshot,
+    violations: Vec<RateViolation>,
+    engine: EngineCounters,
+    cluster: ClusterCounters,
 }
 
 fn run_case(label: &str, kvps: u64, plan: Option<FaultPlan>) -> SweepRow {
@@ -61,15 +70,26 @@ fn run_case(label: &str, kvps: u64, plan: Option<FaultPlan>) -> SweepRow {
     let mut dc = DriverConfig::new(0, kvps);
     dc.threads = 4;
     let measurements = Arc::new(Measurements::new());
-    let report = run_driver(
+    // 1 s throughput windows; a window below 1 op/s (i.e. a dead stop)
+    // flags the case. Faults here degrade but never halt ingestion.
+    let sustained = SustainedRateConfig {
+        window_nanos: 1_000_000_000,
+        min_window_rate: 1.0,
+    };
+    let telemetry = RunTelemetry::new(Phase::Measured, sustained.window_nanos);
+    let report = run_driver_with_telemetry(
         &dc,
         Arc::clone(&cluster) as Arc<dyn GatewayBackend>,
         measurements,
+        Some(&telemetry),
     );
+    let snapshot = telemetry.snapshot();
+    let violations = validate_sustained_rate(&snapshot.ingest_windows, &sustained);
 
     let iotps = report.ingested as f64 / report.elapsed_secs.max(1e-9);
     let resilience = cluster.resilience();
-    let persisted = cluster.stats().puts;
+    let stats = cluster.stats();
+    let persisted = stats.puts;
     // Per-sensor floor scaled down with the row count so short sweep runs
     // are judged by shape, not by wall-clock throughput.
     let validity = degraded_run_verdict(report.ingested, persisted, iotps / 200.0, 1.0);
@@ -89,6 +109,10 @@ fn run_case(label: &str, kvps: u64, plan: Option<FaultPlan>) -> SweepRow {
         } else {
             format!("{} ({})", validity.verdict(), validity.reasons.join("; "))
         },
+        snapshot,
+        violations,
+        engine: stats.engine.into(),
+        cluster: (&stats).into(),
     };
     drop(cluster);
     std::fs::remove_dir_all(&dir).ok();
@@ -196,4 +220,56 @@ fn main() {
     );
     let ok = rows.iter().all(|r| r.verdict.starts_with("VALID"));
     println!("  resilient path keeps every degraded run valid: {ok}");
+    let stalls = rows.iter().all(|r| r.violations.is_empty());
+    println!("  no case ever stalled a full 1s window: {stalls}");
+
+    println!("\nper-second ingest trace (crash 50% of run):");
+    let crash_trace = &by_label("crash 50% of run").snapshot.ingest_windows;
+    for (w, ops) in crash_trace.iter().enumerate() {
+        println!("  window {w:>2}: {ops:>8} ops");
+    }
+
+    export_metrics(&rows);
+}
+
+/// Writes the unified registry to `$METRICS_EXPORT_DIR/fault_sweep.json`
+/// and `.prom` (CI uploads both as build artifacts). No-op when the
+/// variable is unset.
+fn export_metrics(rows: &[SweepRow]) {
+    let Some(dir) = std::env::var_os("METRICS_EXPORT_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let mut registry = MetricsRegistry::new();
+    let mut valid = true;
+    for r in rows {
+        registry.add_phase(r.label.clone(), r.snapshot.clone(), r.violations.clone());
+        registry.engine.merge(&r.engine);
+        match registry.cluster.as_mut() {
+            Some(total) => total.merge(&r.cluster),
+            None => registry.cluster = Some(r.cluster.clone()),
+        }
+        valid &= r.verdict.starts_with("VALID");
+    }
+    registry.verdict = if valid { "VALID" } else { "INVALID" }.into();
+    for r in rows.iter().filter(|r| !r.verdict.starts_with("VALID")) {
+        registry
+            .verdict_reasons
+            .push(format!("{}: {}", r.label, r.verdict));
+    }
+    for (name, content) in [
+        ("fault_sweep.json", registry.to_json()),
+        ("fault_sweep.prom", registry.to_prometheus()),
+    ] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("exported {}", path.display());
+    }
 }

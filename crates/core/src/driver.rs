@@ -13,6 +13,7 @@ use crate::datagen::ReadingGenerator;
 use crate::query::{execute, QuerySpec};
 use crate::retry::{with_retry, RetryPolicy};
 use crate::sensors::substation_key;
+use crate::telemetry::RunTelemetry;
 use simkit::rng::{derive_seed, Stream};
 use simkit::stats::Moments;
 use std::sync::Arc;
@@ -81,6 +82,19 @@ pub fn run_driver(
     backend: Arc<dyn GatewayBackend>,
     measurements: Arc<Measurements>,
 ) -> DriverReport {
+    run_driver_with_telemetry(config, backend, measurements, None)
+}
+
+/// [`run_driver`] with an optional telemetry sink. Each thread records
+/// into a private [`ThreadRecorder`](crate::telemetry::ThreadRecorder)
+/// (no cross-thread contention on the hot path) and folds it into
+/// `telemetry` once, when its quota is done.
+pub fn run_driver_with_telemetry(
+    config: &DriverConfig,
+    backend: Arc<dyn GatewayBackend>,
+    measurements: Arc<Measurements>,
+    telemetry: Option<&RunTelemetry>,
+) -> DriverReport {
     assert!(config.threads > 0, "driver needs at least one thread");
     let substation = substation_key(config.substation_index);
     let started = Instant::now();
@@ -133,6 +147,7 @@ pub fn run_driver(
                     query_retries: 0,
                     rows: Moments::new(),
                 };
+                let mut recorder = telemetry.map(|t| t.recorder());
                 let mut since_query = 0u64;
                 for _ in 0..quota {
                     let (k, v) = gen.next_kvp();
@@ -140,14 +155,20 @@ pub fn run_driver(
                     let attempt =
                         with_retry(&config.retry, &mut retry_rng, || backend.insert(&k, &v));
                     out.insert_retries += attempt.retries;
+                    let latency = op_start.elapsed().as_nanos() as u64;
                     match attempt.result {
                         Ok(()) => {
-                            measurements
-                                .record_ok(OpKind::Insert, op_start.elapsed().as_nanos() as u64);
+                            measurements.record_ok(OpKind::Insert, latency);
+                            if let (Some(rec), Some(t)) = (recorder.as_mut(), telemetry) {
+                                rec.record_ingest(t.now_nanos(), latency, attempt.retries);
+                            }
                             out.ingested += 1;
                         }
                         Err(_) => {
-                            measurements.record_failure(OpKind::Insert);
+                            measurements.record_failure(OpKind::Insert, latency);
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.record_failed(latency);
+                            }
                             out.insert_failures += 1;
                         }
                     }
@@ -165,19 +186,28 @@ pub fn run_driver(
                             execute(backend.as_ref(), &spec)
                         });
                         out.query_retries += attempt.retries;
+                        let latency = q_start.elapsed().as_nanos() as u64;
                         match attempt.result {
                             Ok(outcome) => {
-                                measurements
-                                    .record_ok(OpKind::Scan, q_start.elapsed().as_nanos() as u64);
+                                measurements.record_ok(OpKind::Scan, latency);
+                                if let (Some(rec), Some(t)) = (recorder.as_mut(), telemetry) {
+                                    rec.record_query(t.now_nanos(), latency, attempt.retries);
+                                }
                                 out.rows.record(outcome.rows_read as f64);
                                 out.queries += 1;
                             }
                             Err(_) => {
-                                measurements.record_failure(OpKind::Scan);
+                                measurements.record_failure(OpKind::Scan, latency);
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record_failed(latency);
+                                }
                                 out.query_failures += 1;
                             }
                         }
                     }
+                }
+                if let (Some(rec), Some(t)) = (recorder.as_ref(), telemetry) {
+                    t.absorb(rec);
                 }
                 out
             }));

@@ -32,6 +32,9 @@
 //! * [`checks`] — file (md5), replication, and data checks,
 //! * [`md5`] — RFC 1321 implemented in-repo,
 //! * [`report`] — executive summary + full disclosure report (FDR),
+//! * [`telemetry`] — per-phase latency histograms, 1 s throughput
+//!   windows, engine/cluster counters, JSON + Prometheus exporters, and
+//!   the sustained-rate validator,
 //! * [`experiment`] — the paper's evaluation harness (Tables I–III,
 //!   Figures 8 and 10–16) over either the real in-process cluster or the
 //!   calibrated simulation.
@@ -51,6 +54,7 @@ pub mod retry;
 pub mod rules;
 pub mod runner;
 pub mod sensors;
+pub mod telemetry;
 
 pub use backend::GatewayBackend;
 pub use datagen::ReadingGenerator;
@@ -61,3 +65,4 @@ pub use query::{QueryKind, QueryOutcome, QuerySpec};
 pub use retry::{with_retry, RetryPolicy};
 pub use rules::{RuleReport, Rules};
 pub use runner::{BenchmarkConfig, BenchmarkOutcome, BenchmarkRunner};
+pub use telemetry::{MetricsRegistry, Phase, RunTelemetry, SustainedRateConfig};

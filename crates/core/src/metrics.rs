@@ -151,6 +151,27 @@ pub fn degraded_run_verdict(
     }
 }
 
+/// Folds the sustained-rate validator's output into a run verdict: any
+/// full 1 s window below the throughput floor invalidates the run, even
+/// if the end-of-run average recovered.
+pub fn apply_sustained_rate(
+    validity: &mut RunValidity,
+    violations: &[crate::telemetry::RateViolation],
+) {
+    let Some(worst) = violations.iter().min_by_key(|v| v.ops) else {
+        return;
+    };
+    validity.valid = false;
+    validity.reasons.push(format!(
+        "sustained-rate violation: {} window(s) below the {:.0} ops floor \
+         (worst: window {} completed {} ops)",
+        violations.len(),
+        worst.required,
+        worst.window,
+        worst.ops,
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +235,32 @@ mod tests {
 
         let both = degraded_run_verdict(10, 5, 1.0, 20.0);
         assert_eq!(both.reasons.len(), 2);
+    }
+
+    #[test]
+    fn sustained_rate_violations_invalidate() {
+        use crate::telemetry::RateViolation;
+        let mut v = degraded_run_verdict(1000, 1000, 25.0, 20.0);
+        apply_sustained_rate(&mut v, &[]);
+        assert!(v.valid, "no violations leave the verdict untouched");
+        apply_sustained_rate(
+            &mut v,
+            &[
+                RateViolation {
+                    window: 3,
+                    ops: 40,
+                    required: 100.0,
+                },
+                RateViolation {
+                    window: 4,
+                    ops: 0,
+                    required: 100.0,
+                },
+            ],
+        );
+        assert!(!v.valid);
+        assert!(v.reasons[0].contains("sustained-rate violation"));
+        assert!(v.reasons[0].contains("window 4"), "worst window named");
     }
 
     #[test]

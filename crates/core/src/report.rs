@@ -72,6 +72,30 @@ pub fn full_disclosure_report(
                 exec.query_latency.p95 as f64 / 1e6,
                 exec.query_latency.max as f64 / 1e6,
             );
+            let t = &exec.telemetry;
+            let _ = writeln!(
+                out,
+                "{label} telemetry: ingest p50 {:.1}us p95 {:.1}us p99 {:.1}us \
+                 p999 {:.1}us over {} windows ({:.0}s each); {} retried ops, \
+                 {} failed ops",
+                t.ingest.p50 as f64 / 1e3,
+                t.ingest.p95 as f64 / 1e3,
+                t.ingest.p99 as f64 / 1e3,
+                t.ingest.p999 as f64 / 1e3,
+                t.ingest_windows.len(),
+                t.window_secs,
+                t.retry.count,
+                t.failed.count,
+            );
+            if exec.rate_violations.is_empty() {
+                let _ = writeln!(out, "{label} sustained rate: no windows below floor");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{label} sustained rate: {} window(s) below floor",
+                    exec.rate_violations.len()
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -100,6 +124,22 @@ pub fn full_disclosure_report(
                 r.backend.unavailable_errors,
             );
         }
+        if let Some(e) = &it.engine {
+            let lookups = e.cache_hits + e.cache_misses;
+            let _ = writeln!(
+                out,
+                "engine: {} wal syncs, {} flushes, {} compactions, \
+                 {:.1}% cache hit rate",
+                e.wal_syncs,
+                e.flushes,
+                e.compactions,
+                if lookups == 0 {
+                    100.0
+                } else {
+                    100.0 * e.cache_hits as f64 / lookups as f64
+                },
+            );
+        }
         let _ = writeln!(out, "run validity: {}", it.validity.verdict());
         for reason in &it.validity.reasons {
             let _ = writeln!(out, "  - {reason}");
@@ -125,6 +165,30 @@ pub fn full_disclosure_report(
     }
     for (key, value) in tunables {
         let _ = writeln!(out, "{key} = {value}");
+    }
+    let _ = writeln!(out, "\n--- Metrics snapshot ---");
+    let _ = writeln!(
+        out,
+        "phases exported: {}",
+        outcome
+            .registry
+            .phases
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "sustained-rate check: {}",
+        if outcome.registry.sustained_ok() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if !outcome.registry.verdict.is_empty() {
+        let _ = writeln!(out, "overall verdict: {}", outcome.registry.verdict);
     }
     out
 }

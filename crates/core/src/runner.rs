@@ -4,13 +4,19 @@
 
 use crate::backend::{GatewayBackend, ResilienceCounters};
 use crate::checks::{data_check, file_check, replication_check, CheckResult, KitManifest};
-use crate::driver::{run_driver, DriverConfig, DriverReport};
+use crate::driver::{run_driver_with_telemetry, DriverConfig, DriverReport};
 use crate::metrics::{
-    degraded_run_verdict, BenchmarkMetrics, MeasuredRun, ResilienceSummary, RunValidity,
+    apply_sustained_rate, degraded_run_verdict, BenchmarkMetrics, MeasuredRun, ResilienceSummary,
+    RunValidity,
 };
 use crate::pricing::PriceSheet;
+use crate::retry::RetryPolicy;
 use crate::rules::{validate, RuleReport, Rules, RunFacts};
 use crate::sensors::SENSORS_PER_SUBSTATION;
+use crate::telemetry::{
+    validate_sustained_rate, ClusterCounters, EngineCounters, MetricsRegistry, Phase,
+    PhaseSnapshot, RateViolation, RunTelemetry, SustainedRateConfig,
+};
 use simkit::rng::derive_seed;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -26,6 +32,15 @@ pub trait SystemUnderTest: Send {
     fn cleanup(&mut self) -> Result<(), String>;
     /// A short description for reports (nodes, storage, software).
     fn describe(&self) -> String;
+    /// Storage-engine counters aggregated over all nodes, if this SUT
+    /// exposes an engine (sampled before cleanup resets them).
+    fn engine_counters(&self) -> Option<EngineCounters> {
+        None
+    }
+    /// Gateway-cluster counters, if this SUT is a cluster.
+    fn cluster_counters(&self) -> Option<ClusterCounters> {
+        None
+    }
 }
 
 /// Benchmark invocation parameters — the two arguments of the real kit
@@ -48,6 +63,13 @@ pub struct BenchmarkConfig {
     pub kit: Option<(PathBuf, KitManifest)>,
     /// Replication the SUT must provide (spec: 3).
     pub required_replication: usize,
+    /// Retry policy handed to every driver instance.
+    pub retry: RetryPolicy,
+    /// Sustained-rate floor judged on per-window throughput of each
+    /// measured execution (disabled by default — laptop runs cannot hold
+    /// spec rates; [`SustainedRateConfig::per_sensor`] builds the
+    /// spec-shaped floor).
+    pub sustained: SustainedRateConfig,
 }
 
 impl BenchmarkConfig {
@@ -60,6 +82,8 @@ impl BenchmarkConfig {
             rules: Rules::SPEC,
             kit: None,
             required_replication: 3,
+            retry: RetryPolicy::DEFAULT,
+            sustained: SustainedRateConfig::default(),
         }
     }
 
@@ -91,6 +115,11 @@ pub struct ExecutionOutcome {
     pub driver_secs: Vec<f64>,
     /// Query latency summary (nanoseconds, from the shared sink).
     pub query_latency: simkit::stats::Summary,
+    /// Per-phase telemetry: latency histograms and windowed throughput.
+    pub telemetry: PhaseSnapshot,
+    /// Full 1 s windows whose ingest throughput fell below the
+    /// configured sustained-rate floor.
+    pub rate_violations: Vec<RateViolation>,
 }
 
 /// One benchmark iteration: warm-up + measured + data check.
@@ -103,9 +132,14 @@ pub struct IterationOutcome {
     /// Retry/failover accounting over the whole iteration (warm-up +
     /// measured; the backend counters reset with system cleanup).
     pub resilience: ResilienceSummary,
-    /// Degraded-run verdict: acknowledged-data loss or sensor
-    /// starvation invalidates the iteration.
+    /// Degraded-run verdict: acknowledged-data loss, sensor starvation,
+    /// or a sustained-rate window violation invalidates the iteration.
     pub validity: RunValidity,
+    /// Engine counters sampled after the measured execution, before the
+    /// cleanup that resets them (`None` for engine-less SUTs).
+    pub engine: Option<EngineCounters>,
+    /// Gateway-cluster counters sampled at the same point.
+    pub cluster: Option<ClusterCounters>,
 }
 
 /// The full benchmark outcome.
@@ -116,6 +150,9 @@ pub struct BenchmarkOutcome {
     /// None when a prerequisite check aborted the run.
     pub metrics: Option<BenchmarkMetrics>,
     pub sut_description: String,
+    /// Unified observability registry (driver telemetry + engine +
+    /// cluster counters), ready for JSON / Prometheus export.
+    pub registry: MetricsRegistry,
 }
 
 impl BenchmarkOutcome {
@@ -155,20 +192,26 @@ impl BenchmarkRunner {
         sut: &dyn SystemUnderTest,
         seed: u64,
         epoch_ms: u64,
+        phase: Phase,
     ) -> ExecutionOutcome {
         let backend = sut.backend();
         let measurements = Arc::new(Measurements::new());
+        let telemetry = RunTelemetry::new(phase, self.config.sustained.window_nanos);
         let started = Instant::now();
         let reports: Vec<DriverReport> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for i in 0..self.config.substations {
                 let backend = Arc::clone(&backend);
                 let measurements = Arc::clone(&measurements);
+                let telemetry = &telemetry;
                 let mut dc = DriverConfig::new(i, self.config.kvps_for_instance(i));
                 dc.threads = self.config.threads_per_driver;
                 dc.seed = derive_seed(seed, i as u64);
                 dc.epoch_ms = epoch_ms;
-                handles.push(scope.spawn(move || run_driver(&dc, backend, measurements)));
+                dc.retry = self.config.retry;
+                handles.push(scope.spawn(move || {
+                    run_driver_with_telemetry(&dc, backend, measurements, Some(telemetry))
+                }));
             }
             handles
                 .into_iter()
@@ -176,6 +219,14 @@ impl BenchmarkRunner {
                 .collect()
         });
         let elapsed_secs = started.elapsed().as_secs_f64();
+        let snapshot = telemetry.snapshot();
+        // Only measured executions are judged: the spec's sustained-rate
+        // contract covers the measurement interval, not warm-up.
+        let rate_violations = if phase == Phase::Measured {
+            validate_sustained_rate(&snapshot.ingest_windows, &self.config.sustained)
+        } else {
+            Vec::new()
+        };
 
         let ingested: u64 = reports.iter().map(|r| r.ingested).sum();
         let queries: u64 = reports.iter().map(|r| r.queries_executed).sum();
@@ -197,6 +248,8 @@ impl BenchmarkRunner {
             },
             driver_secs: reports.iter().map(|r| r.elapsed_secs).collect(),
             query_latency: measurements.summary(OpKind::Scan),
+            telemetry: snapshot,
+            rate_violations,
         }
     }
 
@@ -217,6 +270,7 @@ impl BenchmarkRunner {
                 iterations: Vec::new(),
                 metrics: None,
                 sut_description: sut.describe(),
+                registry: MetricsRegistry::new(),
             };
         }
 
@@ -227,8 +281,9 @@ impl BenchmarkRunner {
             // One virtual hour between executions keeps their key ranges
             // disjoint, as wall-clock time does in a real run.
             let base_epoch = 1_700_000_000_000u64 + iteration * 7_200_000;
-            let warmup = self.run_execution(sut, warm_seed, base_epoch);
-            let measured = self.run_execution(sut, meas_seed, base_epoch + 3_600_000);
+            let warmup = self.run_execution(sut, warm_seed, base_epoch, Phase::Warmup);
+            let measured =
+                self.run_execution(sut, meas_seed, base_epoch + 3_600_000, Phase::Measured);
             // Data check: warm-up and measured each ingested the full
             // workload into the (un-purged) store.
             let expected = 2 * self.config.total_kvps;
@@ -250,12 +305,17 @@ impl BenchmarkRunner {
             // Acknowledged = what the drivers saw succeed across both
             // executions; persisted = what the backend reports ingested.
             let acknowledged = warmup.ingested + measured.ingested;
-            let validity = degraded_run_verdict(
+            let mut validity = degraded_run_verdict(
                 acknowledged,
                 sut.backend().ingested_count(),
                 facts.per_sensor_rate(),
                 self.config.rules.min_per_sensor_rate,
             );
+            apply_sustained_rate(&mut validity, &measured.rate_violations);
+            // Engine/cluster counters must be sampled now: cleanup resets
+            // them along with the data.
+            let engine = sut.engine_counters();
+            let cluster = sut.cluster_counters();
             iterations.push(IterationOutcome {
                 warmup,
                 measured,
@@ -263,6 +323,8 @@ impl BenchmarkRunner {
                 rule_report,
                 resilience,
                 validity,
+                engine,
+                cluster,
             });
             // System cleanup between iterations (and after the last, so
             // the SUT is left pristine).
@@ -293,13 +355,64 @@ impl BenchmarkRunner {
             None
         };
 
+        let registry = build_registry(&iterations);
         BenchmarkOutcome {
             prerequisite_checks,
             iterations,
             metrics,
             sut_description: sut.describe(),
+            registry,
         }
     }
+}
+
+/// Assembles the unified [`MetricsRegistry`] from completed iterations:
+/// every execution phase labelled `iter<N>/<phase>`, engine and cluster
+/// counters summed across iterations, and the overall verdict (an
+/// invalid iteration invalidates the whole result).
+fn build_registry(iterations: &[IterationOutcome]) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    let mut engine = EngineCounters::default();
+    let mut saw_engine = false;
+    let mut cluster: Option<ClusterCounters> = None;
+    let mut valid = true;
+    for (i, it) in iterations.iter().enumerate() {
+        let n = i + 1;
+        registry.add_phase(
+            format!("iter{n}/warmup"),
+            it.warmup.telemetry.clone(),
+            it.warmup.rate_violations.clone(),
+        );
+        registry.add_phase(
+            format!("iter{n}/measured"),
+            it.measured.telemetry.clone(),
+            it.measured.rate_violations.clone(),
+        );
+        if let Some(e) = &it.engine {
+            engine.merge(e);
+            saw_engine = true;
+        }
+        if let Some(c) = &it.cluster {
+            match cluster.as_mut() {
+                Some(total) => total.merge(c),
+                None => cluster = Some(c.clone()),
+            }
+        }
+        if !it.validity.valid {
+            valid = false;
+            for reason in &it.validity.reasons {
+                registry
+                    .verdict_reasons
+                    .push(format!("iteration {n}: {reason}"));
+            }
+        }
+    }
+    if saw_engine {
+        registry.engine = engine;
+    }
+    registry.cluster = cluster;
+    registry.verdict = if valid { "VALID" } else { "INVALID" }.into();
+    registry
 }
 
 /// A [`SystemUnderTest`] over the in-process gateway cluster.
@@ -371,6 +484,19 @@ impl SystemUnderTest for GatewaySut {
             c.node_count(),
             c.effective_replication()
         )
+    }
+
+    fn engine_counters(&self) -> Option<EngineCounters> {
+        let c = self.cluster.read();
+        let mut engine = EngineCounters::default();
+        for node in 0..c.node_count() {
+            engine.accumulate(&c.node_db_stats(node));
+        }
+        Some(engine)
+    }
+
+    fn cluster_counters(&self) -> Option<ClusterCounters> {
+        Some((&self.cluster.read().stats()).into())
     }
 }
 

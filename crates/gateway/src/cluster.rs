@@ -116,6 +116,9 @@ pub struct ClusterStats {
     pub resilience: ResilienceStats,
     /// Faults injected by the configured plan, if any.
     pub faults: Option<crate::fault::FaultCounters>,
+    /// Storage-engine statistics summed across every node (WAL syncs,
+    /// flushes, compactions, block-cache hits/misses, ...).
+    pub engine: iotkv::DbStats,
 }
 
 /// An in-process distributed gateway cluster.
@@ -490,6 +493,13 @@ impl Cluster {
             replication_clamped: self.config.replication_factor > self.config.nodes,
             resilience: self.resilience(),
             faults: self.fault.as_ref().map(|f| f.counters()),
+            engine: {
+                let mut engine = iotkv::DbStats::default();
+                for node in &self.nodes {
+                    engine.accumulate(&node.db.stats());
+                }
+                engine
+            },
         }
     }
 }

@@ -102,6 +102,31 @@ pub struct DbStats {
     pub level_shape: [usize; 8],
 }
 
+impl DbStats {
+    /// Sums another snapshot into this one (aggregating engines across
+    /// cluster nodes for telemetry export).
+    pub fn accumulate(&mut self, other: &DbStats) {
+        self.puts += other.puts;
+        self.deletes += other.deletes;
+        self.gets += other.gets;
+        self.scans += other.scans;
+        self.flushes += other.flushes;
+        self.compactions += other.compactions;
+        self.bytes_flushed += other.bytes_flushed;
+        self.bytes_compacted += other.bytes_compacted;
+        self.wal_syncs += other.wal_syncs;
+        self.commit_groups += other.commit_groups;
+        self.commit_batches += other.commit_batches;
+        self.stalls += other.stalls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.table_count += other.table_count;
+        for (a, b) in self.level_shape.iter_mut().zip(other.level_shape) {
+            *a += b;
+        }
+    }
+}
+
 struct DbInner {
     dir: PathBuf,
     opts: Options,

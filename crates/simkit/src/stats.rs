@@ -174,6 +174,7 @@ impl Histogram {
             p50: self.value_at_quantile(0.50),
             p95: self.value_at_quantile(0.95),
             p99: self.value_at_quantile(0.99),
+            p999: self.value_at_quantile(0.999),
         }
     }
 }
@@ -196,6 +197,7 @@ pub struct Summary {
     pub p50: u64,
     pub p95: u64,
     pub p99: u64,
+    pub p999: u64,
 }
 
 /// Welford online mean/variance accumulator for `f64` observations.
@@ -317,6 +319,26 @@ impl TimeSeries {
         let total: u64 = self.buckets.iter().sum();
         total as f64 / self.buckets.len() as f64
     }
+
+    /// Merges another series bucket-wise. Both series must use the same
+    /// interval; the result covers the longer of the two.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.interval_nanos, other.interval_nanos,
+            "cannot merge time series with different intervals"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Total count across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -414,5 +436,29 @@ mod tests {
         ts.add(3_500_000_000, 1);
         assert_eq!(ts.buckets(), &[10, 7, 0, 1]);
         assert_eq!(ts.mean_rate(), 4.5);
+    }
+
+    #[test]
+    fn time_series_merge_is_bucket_wise() {
+        let mut a = TimeSeries::new(1_000);
+        let mut b = TimeSeries::new(1_000);
+        a.add(0, 3);
+        a.add(1_500, 2);
+        b.add(500, 1);
+        b.add(3_200, 4);
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[4, 2, 0, 4]);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn summary_includes_tail_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 as f64 >= 9_900.0 * 0.96);
     }
 }

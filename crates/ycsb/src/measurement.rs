@@ -51,7 +51,9 @@ impl OpKind {
 
 struct Slot {
     ok: Histogram,
-    failed: u64,
+    /// Failed ops carry their end-to-end latency too: a retry storm shows
+    /// up as a fat failed-latency tail long before throughput collapses.
+    failed: Histogram,
 }
 
 /// Thread-safe measurement sink shared by all client threads.
@@ -72,7 +74,7 @@ impl Measurements {
             slots: std::array::from_fn(|_| {
                 Mutex::new(Slot {
                     ok: Histogram::new(),
-                    failed: 0,
+                    failed: Histogram::new(),
                 })
             }),
             started: Instant::now(),
@@ -84,14 +86,20 @@ impl Measurements {
         self.slots[kind.index()].lock().ok.record(latency_nanos);
     }
 
-    /// Records a failed operation.
-    pub fn record_failure(&self, kind: OpKind) {
-        self.slots[kind.index()].lock().failed += 1;
+    /// Records a failed operation and how long it took to fail (time spent
+    /// across all retry attempts, in nanoseconds).
+    pub fn record_failure(&self, kind: OpKind, latency_nanos: u64) {
+        self.slots[kind.index()].lock().failed.record(latency_nanos);
     }
 
     /// Latency summary for one operation kind (nanoseconds).
     pub fn summary(&self, kind: OpKind) -> Summary {
         self.slots[kind.index()].lock().ok.summary()
+    }
+
+    /// Latency summary of *failed* operations (nanoseconds).
+    pub fn failed_summary(&self, kind: OpKind) -> Summary {
+        self.slots[kind.index()].lock().failed.summary()
     }
 
     /// Value at an arbitrary quantile for one operation kind (nanoseconds).
@@ -104,7 +112,7 @@ impl Measurements {
     }
 
     pub fn failure_count(&self, kind: OpKind) -> u64 {
-        self.slots[kind.index()].lock().failed
+        self.slots[kind.index()].lock().failed.count()
     }
 
     pub fn total_ops(&self) -> u64 {
@@ -153,6 +161,18 @@ impl Measurements {
                 s.p95 as f64 / 1e3,
                 s.p99 as f64 / 1e3,
             );
+            let f = self.failed_summary(kind);
+            if f.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "[{}-FAILED] ops={} avg(us)={:.1} max(us)={:.1} p95(us)={:.1}",
+                    kind.name(),
+                    f.count,
+                    f.mean / 1e3,
+                    f.max as f64 / 1e3,
+                    f.p95 as f64 / 1e3,
+                );
+            }
         }
         out
     }
@@ -168,11 +188,14 @@ mod tests {
         m.record_ok(OpKind::Insert, 1000);
         m.record_ok(OpKind::Insert, 3000);
         m.record_ok(OpKind::Scan, 9000);
-        m.record_failure(OpKind::Read);
+        m.record_failure(OpKind::Read, 7000);
 
         assert_eq!(m.ok_count(OpKind::Insert), 2);
         assert_eq!(m.ok_count(OpKind::Scan), 1);
         assert_eq!(m.failure_count(OpKind::Read), 1);
+        assert_eq!(m.failed_summary(OpKind::Read).count, 1);
+        assert!(m.failed_summary(OpKind::Read).max >= 7000);
+        assert_eq!(m.failed_summary(OpKind::Insert).count, 0);
         assert_eq!(m.total_ops(), 3);
         assert_eq!(m.summary(OpKind::Insert).mean, 2000.0);
         assert_eq!(m.summary(OpKind::Update).count, 0);

@@ -87,7 +87,10 @@ impl Runner {
                             Ok(()) => measurements
                                 .record_ok(OpKind::Insert, op_start.elapsed().as_nanos() as u64),
                             Err(_) => {
-                                measurements.record_failure(OpKind::Insert);
+                                measurements.record_failure(
+                                    OpKind::Insert,
+                                    op_start.elapsed().as_nanos() as u64,
+                                );
                                 local_failures += 1;
                             }
                         }
@@ -145,7 +148,7 @@ impl Runner {
                         if ok {
                             measurements.record_ok(op, op_start.elapsed().as_nanos() as u64);
                         } else {
-                            measurements.record_failure(op);
+                            measurements.record_failure(op, op_start.elapsed().as_nanos() as u64);
                             local_failures += 1;
                         }
                     }

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: formatting, lints, build, full test suite (including
-# the fault-tolerance integration tests registered in crates/core).
+# the fault-tolerance and golden-snapshot integration tests registered
+# in crates/core), plus the telemetry export artifacts.
 #
 #   ./scripts/ci.sh          # everything
-#   ./scripts/ci.sh quick    # skip the test suite (fmt + clippy + build)
+#   ./scripts/ci.sh quick    # skip tests + artifacts (fmt + clippy + build)
+#
+# Artifacts: the fault sweep exports its unified metrics registry to
+# $ARTIFACT_DIR (default target/ci-artifacts) as fault_sweep.json and
+# fault_sweep.prom; check_export fails the run if either is empty or
+# unparsable. Upload that directory from your CI provider.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ARTIFACT_DIR="${ARTIFACT_DIR:-target/ci-artifacts}"
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -19,6 +27,16 @@ cargo build --workspace --release
 if [[ "${1:-}" != "quick" ]]; then
     echo "== cargo test =="
     cargo test --workspace --release -q
+
+    echo "== golden snapshots =="
+    cargo test --release -q -p tpcx-iot --test golden_snapshot
+
+    echo "== metrics export artifacts =="
+    rm -rf "$ARTIFACT_DIR"
+    METRICS_EXPORT_DIR="$ARTIFACT_DIR" \
+        cargo run --release -q -p bench --bin fault_sweep -- 100
+    cargo run --release -q -p bench --bin check_export -- \
+        "$ARTIFACT_DIR/fault_sweep.json" "$ARTIFACT_DIR/fault_sweep.prom"
 fi
 
 echo "CI gate passed."

@@ -6,6 +6,7 @@ use tpcx_iot::pricing::PriceSheet;
 use tpcx_iot::report::{executive_summary, full_disclosure_report};
 use tpcx_iot::rules::Rules;
 use tpcx_iot::runner::{BenchmarkConfig, BenchmarkRunner, GatewaySut};
+use tpcx_iot::telemetry::SustainedRateConfig;
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("tpcx-e2e-{name}-{}", std::process::id()));
@@ -129,6 +130,184 @@ fn iterations_are_independent_after_cleanup() {
         outcome.iterations[1].data_check.detail
     );
     std::fs::remove_dir_all(dir).ok();
+}
+
+mod sustained_rate {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tpcx_iot::backend::{BackendResult, GatewayBackend, MemBackend};
+    use tpcx_iot::runner::SystemUnderTest;
+
+    /// Delegates to an in-memory backend but sleeps once, when the
+    /// cumulative insert count crosses `stall_at` — an injected ingest
+    /// stall invisible to end-of-run averages.
+    struct StallingBackend {
+        inner: Arc<MemBackend>,
+        inserts: Arc<AtomicU64>,
+        stall_at: u64,
+        stall: Duration,
+    }
+
+    impl GatewayBackend for StallingBackend {
+        fn insert(&self, key: &[u8], value: &[u8]) -> BackendResult<()> {
+            if self.inserts.fetch_add(1, Ordering::Relaxed) + 1 == self.stall_at {
+                std::thread::sleep(self.stall);
+            }
+            self.inner.insert(key, value)
+        }
+
+        fn scan(
+            &self,
+            start: &[u8],
+            end: &[u8],
+            limit: usize,
+        ) -> BackendResult<Vec<(bytes::Bytes, bytes::Bytes)>> {
+            self.inner.scan(start, end, limit)
+        }
+
+        fn replication_factor(&self) -> usize {
+            self.inner.replication_factor()
+        }
+
+        fn ingested_count(&self) -> u64 {
+            self.inner.ingested_count()
+        }
+    }
+
+    struct StallSut {
+        inner: Arc<MemBackend>,
+        /// Shared across cleanups so the stall fires exactly once, at a
+        /// chosen point of the whole benchmark (not per iteration).
+        inserts: Arc<AtomicU64>,
+        stall_at: u64,
+        stall: Duration,
+    }
+
+    impl StallSut {
+        fn new(stall_at: u64, stall: Duration) -> StallSut {
+            StallSut {
+                inner: Arc::new(MemBackend::new()),
+                inserts: Arc::new(AtomicU64::new(0)),
+                stall_at,
+                stall,
+            }
+        }
+    }
+
+    impl SystemUnderTest for StallSut {
+        fn backend(&self) -> Arc<dyn GatewayBackend> {
+            Arc::new(StallingBackend {
+                inner: Arc::clone(&self.inner),
+                inserts: Arc::clone(&self.inserts),
+                stall_at: self.stall_at,
+                stall: self.stall,
+            })
+        }
+        fn cleanup(&mut self) -> Result<(), String> {
+            self.inner = Arc::new(MemBackend::new());
+            Ok(())
+        }
+        fn describe(&self) -> String {
+            "in-memory SUT with injected ingest stall".into()
+        }
+    }
+
+    const TOTAL_KVPS: u64 = 20_000;
+
+    fn config() -> BenchmarkConfig {
+        let mut config = BenchmarkConfig::new(1, TOTAL_KVPS);
+        config.threads_per_driver = 2;
+        config.rules = lab_rules();
+        // Any full 1 s window under 20 successful inserts/s trips the
+        // validator — orders of magnitude below the steady in-memory
+        // rate, so only a genuine stall can violate it.
+        config.sustained = SustainedRateConfig {
+            window_nanos: 1_000_000_000,
+            min_window_rate: 20.0,
+        };
+        config
+    }
+
+    /// A 10 s mid-run stall must trip the sustained-rate validator and
+    /// flip the iteration's verdict to INVALID even though every insert
+    /// eventually succeeded and the end-of-run aggregates look healthy.
+    #[test]
+    fn injected_stall_trips_sustained_rate_validator() {
+        // Warm-up ingests TOTAL_KVPS inserts, so 1.5 × lands the stall
+        // in the middle of iteration 1's *measured* execution.
+        let mut sut = StallSut::new(TOTAL_KVPS * 3 / 2, Duration::from_secs(10));
+        let config = config();
+        let sheet = PriceSheet::sample_cluster(2);
+        let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+        let outcome = runner.run(&mut sut);
+        assert_eq!(outcome.iterations.len(), 2);
+
+        let stalled = &outcome.iterations[0];
+        assert_eq!(
+            stalled.measured.ingested, TOTAL_KVPS,
+            "every insert still succeeded — only the timing degraded"
+        );
+        assert!(
+            !stalled.measured.rate_violations.is_empty(),
+            "10s stall must starve at least one full window: {:?}",
+            stalled.measured.telemetry.ingest_windows
+        );
+        assert!(!stalled.validity.valid);
+        assert!(
+            stalled
+                .validity
+                .reasons
+                .iter()
+                .any(|r| r.contains("sustained-rate violation")),
+            "reasons: {:?}",
+            stalled.validity.reasons
+        );
+
+        let clean = &outcome.iterations[1];
+        assert!(
+            clean.validity.valid,
+            "stall-free iteration stays VALID: {:?}",
+            clean.validity.reasons
+        );
+        assert!(
+            !outcome.publishable(),
+            "one INVALID iteration sinks the run"
+        );
+
+        assert!(!outcome.registry.sustained_ok());
+        assert_eq!(outcome.registry.verdict, "INVALID");
+        let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+        assert!(fdr.contains("sustained-rate violation"));
+        assert!(fdr.contains("run validity: INVALID"));
+        assert!(fdr.contains("sustained-rate check: VIOLATED"));
+    }
+
+    /// The same configuration without the stall sails through: the
+    /// validator only reacts to windows that actually starve.
+    #[test]
+    fn steady_run_passes_sustained_rate_validator() {
+        let mut sut = StallSut::new(u64::MAX, Duration::ZERO);
+        let config = config();
+        let sheet = PriceSheet::sample_cluster(2);
+        let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+        let outcome = runner.run(&mut sut);
+        assert_eq!(outcome.iterations.len(), 2);
+        for it in &outcome.iterations {
+            assert!(it.validity.valid, "reasons: {:?}", it.validity.reasons);
+            assert!(it.measured.rate_violations.is_empty());
+            // The telemetry layer accounted for every successful insert.
+            assert_eq!(it.measured.telemetry.ingest.count, TOTAL_KVPS);
+            assert_eq!(
+                it.measured.telemetry.ingest_windows.iter().sum::<u64>(),
+                TOTAL_KVPS
+            );
+        }
+        assert!(outcome.registry.sustained_ok());
+        assert_eq!(outcome.registry.verdict, "VALID");
+        assert!(outcome.publishable());
+    }
 }
 
 #[test]

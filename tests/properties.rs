@@ -174,6 +174,116 @@ mod histogram_props {
     }
 }
 
+mod telemetry_props {
+    use super::*;
+    use simkit::stats::Histogram;
+    use tpcx_iot::telemetry::{OpClass, Phase, ThreadRecorder};
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Exact-equality fingerprint of a histogram: counts and sums are
+    /// integers, quantiles are bucket boundaries — all deterministic.
+    fn fingerprint(h: &Histogram) -> (u64, u128, u64, u64, Vec<u64>) {
+        (
+            h.count(),
+            h.sum(),
+            if h.count() == 0 { 0 } else { h.min() },
+            h.max(),
+            [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999]
+                .iter()
+                .map(|&q| h.value_at_quantile(q))
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Histogram merge is commutative: a ⊕ b == b ⊕ a.
+        #[test]
+        fn histogram_merge_commutes(
+            a in proptest::collection::vec(0u64..10_000_000_000u64, 0..300),
+            b in proptest::collection::vec(0u64..10_000_000_000u64, 0..300),
+        ) {
+            let (ha, hb) = (hist_of(&a), hist_of(&b));
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+        }
+
+        /// Histogram merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        #[test]
+        fn histogram_merge_associates(
+            a in proptest::collection::vec(0u64..10_000_000_000u64, 0..200),
+            b in proptest::collection::vec(0u64..10_000_000_000u64, 0..200),
+            c in proptest::collection::vec(0u64..10_000_000_000u64, 0..200),
+        ) {
+            let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        }
+
+        /// Samples scattered across per-thread recorders and merged give
+        /// the same quantiles as one recorder fed everything — merge is
+        /// exact on bucket counts, so "within bucket error" is equality.
+        #[test]
+        fn merged_thread_recorders_match_single_recorder(
+            samples in proptest::collection::vec(
+                // (latency, window index, retries)
+                (1u64..5_000_000_000u64, 0u64..8, 0u64..3),
+                1..400,
+            ),
+            threads in 1usize..6,
+        ) {
+            let window = 1_000_000u64;
+            let mut parts: Vec<ThreadRecorder> =
+                (0..threads).map(|_| ThreadRecorder::new(window)).collect();
+            let mut single = ThreadRecorder::new(window);
+            for (i, &(latency, w, retries)) in samples.iter().enumerate() {
+                let t = w * window + latency % window;
+                parts[i % threads].record_ingest(t, latency, retries);
+                single.record_ingest(t, latency, retries);
+                if i % 7 == 0 {
+                    parts[i % threads].record_query(t, latency / 2, 0);
+                    single.record_query(t, latency / 2, 0);
+                }
+                if i % 11 == 0 {
+                    parts[i % threads].record_failed(latency * 2);
+                    single.record_failed(latency * 2);
+                }
+            }
+            let mut merged = parts.remove(0);
+            for part in &parts {
+                merged.merge(part);
+            }
+            for class in OpClass::ALL {
+                prop_assert_eq!(
+                    fingerprint(merged.histogram(class)),
+                    fingerprint(single.histogram(class)),
+                    "class {:?}", class
+                );
+            }
+            let (ms, ss) = (merged.snapshot(Phase::Measured), single.snapshot(Phase::Measured));
+            prop_assert_eq!(ms.ingest_windows, ss.ingest_windows);
+            prop_assert_eq!(ms.query_windows, ss.query_windows);
+        }
+    }
+}
+
 mod generator_props {
     use super::*;
     use ycsb::generator::{Generator, HotspotGenerator, UniformGenerator, ZipfianGenerator};
