@@ -29,6 +29,15 @@ fn cluster_put_and_query(c: &mut Criterion) {
             cluster.insert(&k, &v).unwrap();
         })
     });
+    // Same kvps through the batched path: one fault judgment and one WAL
+    // record per region-group instead of per kvp.
+    group.throughput(Throughput::Bytes(16 * 1024));
+    group.bench_function("replicated_put_batch16_1kb", |b| {
+        b.iter(|| {
+            let items: Vec<_> = (0..16).map(|_| generator.next_kvp()).collect();
+            cluster.insert_batch(&items).unwrap();
+        })
+    });
     group.finish();
 
     // Dashboard query over the freshest 5 s window.

@@ -98,6 +98,17 @@ pub trait GatewayBackend: Send + Sync {
     /// Ingests one sensor reading.
     fn insert(&self, key: &[u8], value: &[u8]) -> BackendResult<()>;
 
+    /// Ingests a batch of readings in one backend operation. The batch is
+    /// an all-or-nothing acknowledgement unit: on error the caller must
+    /// assume nothing was acked and retry the whole batch. The default
+    /// degrades to per-kvp inserts for backends without a batched path.
+    fn insert_batch(&self, items: &[(Bytes, Bytes)]) -> BackendResult<()> {
+        for (k, v) in items {
+            self.insert(k, v)?;
+        }
+        Ok(())
+    }
+
     /// Ordered scan of `[start, end)`, up to `limit` rows.
     fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> BackendResult<Vec<(Bytes, Bytes)>>;
 
@@ -118,6 +129,10 @@ pub trait GatewayBackend: Send + Sync {
 impl GatewayBackend for gateway::Cluster {
     fn insert(&self, key: &[u8], value: &[u8]) -> BackendResult<()> {
         self.put(key, value).map_err(BackendError::from)
+    }
+
+    fn insert_batch(&self, items: &[(Bytes, Bytes)]) -> BackendResult<()> {
+        self.put_batch(items).map_err(BackendError::from)
     }
 
     fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> BackendResult<Vec<(Bytes, Bytes)>> {

@@ -71,10 +71,15 @@ impl QuerySpec {
         let current_from = now_ms.saturating_sub(WINDOW_MS);
         // Random 5 s window within the previous 1800 s. During warm-up the
         // window may predate all data — the spec explicitly tolerates
-        // empty historical results.
-        let span = HISTORY_MS - WINDOW_MS;
+        // empty historical results. The span excludes both the past
+        // window's own width and the current window, so the historical
+        // interval can never overlap `[now−5s, now)`.
+        let span = HISTORY_MS - 2 * WINDOW_MS;
         let offset = rng.next_below(span.max(1));
-        let past_from = now_ms.saturating_sub(HISTORY_MS).saturating_add(offset);
+        let past_from = now_ms
+            .saturating_sub(HISTORY_MS)
+            .saturating_add(offset)
+            .min(current_from.saturating_sub(WINDOW_MS));
         QuerySpec {
             kind,
             substation: substation.to_string(),
@@ -255,7 +260,13 @@ mod tests {
             assert_eq!(q.current_to_ms - q.current_from_ms, WINDOW_MS);
             assert_eq!(q.past_to_ms - q.past_from_ms, WINDOW_MS);
             assert!(q.past_from_ms >= now - HISTORY_MS);
-            assert!(q.past_to_ms <= now, "past window inside the previous 1800s");
+            assert!(
+                q.past_to_ms <= q.current_from_ms,
+                "past window must not overlap the current window \
+                 (past_to {} > current_from {})",
+                q.past_to_ms,
+                q.current_from_ms
+            );
             assert!(sensors.contains(&q.sensor));
         }
         // All four templates appear.

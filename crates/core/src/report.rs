@@ -187,6 +187,17 @@ pub fn full_disclosure_report(
             "VIOLATED"
         }
     );
+    if let Some(c) = &outcome.registry.cluster {
+        if c.put_batches > 0 {
+            let _ = writeln!(
+                out,
+                "batched ingest: {} kvps in {} batches (mean fill {:.1})",
+                c.batched_puts,
+                c.put_batches,
+                c.batch_fill(),
+            );
+        }
+    }
     if !outcome.registry.verdict.is_empty() {
         let _ = writeln!(out, "overall verdict: {}", outcome.registry.verdict);
     }

@@ -65,6 +65,10 @@ pub struct BenchmarkConfig {
     pub required_replication: usize,
     /// Retry policy handed to every driver instance.
     pub retry: RetryPolicy,
+    /// Per-thread write-buffer size handed to every driver instance
+    /// (1 = classic per-kvp ingest; larger values flush through the
+    /// backend's batched path).
+    pub batch_size: usize,
     /// Sustained-rate floor judged on per-window throughput of each
     /// measured execution (disabled by default — laptop runs cannot hold
     /// spec rates; [`SustainedRateConfig::per_sensor`] builds the
@@ -83,6 +87,7 @@ impl BenchmarkConfig {
             kit: None,
             required_replication: 3,
             retry: RetryPolicy::DEFAULT,
+            batch_size: 1,
             sustained: SustainedRateConfig::default(),
         }
     }
@@ -209,6 +214,7 @@ impl BenchmarkRunner {
                 dc.seed = derive_seed(seed, i as u64);
                 dc.epoch_ms = epoch_ms;
                 dc.retry = self.config.retry;
+                dc.batch_size = self.config.batch_size;
                 handles.push(scope.spawn(move || {
                     run_driver_with_telemetry(&dc, backend, measurements, Some(telemetry))
                 }));
@@ -441,6 +447,16 @@ impl GatewayBackend for GatewaySutBackend {
             .map_err(crate::backend::BackendError::from)
     }
 
+    fn insert_batch(
+        &self,
+        items: &[(bytes::Bytes, bytes::Bytes)],
+    ) -> crate::backend::BackendResult<()> {
+        self.cluster
+            .read()
+            .put_batch(items)
+            .map_err(crate::backend::BackendError::from)
+    }
+
     fn scan(
         &self,
         start: &[u8],
@@ -568,6 +584,26 @@ mod tests {
         let metrics = outcome.metrics.as_ref().expect("metrics derived");
         assert!(metrics.iotps > 0.0);
         assert!(metrics.price_per_iotps > 0.0);
+        assert!(outcome.publishable());
+    }
+
+    #[test]
+    fn batched_benchmark_flow_is_equivalent() {
+        let mut c = config();
+        c.batch_size = 16;
+        let runner = BenchmarkRunner::new(c, PriceSheet::sample_cluster(2));
+        let mut sut = MemSut {
+            backend: Arc::new(MemBackend::new()),
+            cleanups: 0,
+        };
+        let outcome = runner.run(&mut sut);
+        assert_eq!(outcome.iterations.len(), 2);
+        for it in &outcome.iterations {
+            assert_eq!(it.measured.ingested, 30_000);
+            assert!(it.data_check.passed, "{}", it.data_check.detail);
+            assert!(it.measured.queries > 0);
+            assert!(it.measured.avg_rows_per_query > 0.0);
+        }
         assert!(outcome.publishable());
     }
 

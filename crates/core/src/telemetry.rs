@@ -40,21 +40,25 @@ impl Phase {
     }
 }
 
-/// Operation classes tracked per phase. `Retry` holds the end-to-end
-/// latency of operations that needed at least one retry (retry storms
-/// show up here long before they show up in failure counts); `Failed`
-/// holds the latency of operations that exhausted the retry policy.
+/// Operation classes tracked per phase. `Batch` holds the end-to-end
+/// latency of batched ingest flushes (one sample per batch, however many
+/// kvps it carried); `Retry` holds the end-to-end latency of operations
+/// that needed at least one retry (retry storms show up here long before
+/// they show up in failure counts); `Failed` holds the latency of
+/// operations that exhausted the retry policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpClass {
     Ingest,
+    Batch,
     Query,
     Retry,
     Failed,
 }
 
 impl OpClass {
-    pub const ALL: [OpClass; 4] = [
+    pub const ALL: [OpClass; 5] = [
         OpClass::Ingest,
+        OpClass::Batch,
         OpClass::Query,
         OpClass::Retry,
         OpClass::Failed,
@@ -63,15 +67,17 @@ impl OpClass {
     fn index(self) -> usize {
         match self {
             OpClass::Ingest => 0,
-            OpClass::Query => 1,
-            OpClass::Retry => 2,
-            OpClass::Failed => 3,
+            OpClass::Batch => 1,
+            OpClass::Query => 2,
+            OpClass::Retry => 3,
+            OpClass::Failed => 4,
         }
     }
 
     pub fn name(self) -> &'static str {
         match self {
             OpClass::Ingest => "ingest",
+            OpClass::Batch => "batch",
             OpClass::Query => "query",
             OpClass::Retry => "retry",
             OpClass::Failed => "failed",
@@ -85,7 +91,7 @@ impl OpClass {
 #[derive(Clone, Debug)]
 pub struct ThreadRecorder {
     window_nanos: u64,
-    hists: [Histogram; 4],
+    hists: [Histogram; 5],
     ingest_series: TimeSeries,
     query_series: TimeSeries,
 }
@@ -110,6 +116,19 @@ impl ThreadRecorder {
             self.hists[OpClass::Retry.index()].record(latency_nanos);
         }
         self.ingest_series.add(t_nanos, 1);
+    }
+
+    /// Records one successful batched ingest flush completing at
+    /// `t_nanos`: one `Batch` latency sample for the flush, and `fill`
+    /// kvps credited to the ingest throughput series (the sustained-rate
+    /// validator judges kvps, not flushes).
+    #[inline]
+    pub fn record_batch(&mut self, t_nanos: u64, latency_nanos: u64, fill: u64, retries: u64) {
+        self.hists[OpClass::Batch.index()].record(latency_nanos);
+        if retries > 0 {
+            self.hists[OpClass::Retry.index()].record(latency_nanos);
+        }
+        self.ingest_series.add(t_nanos, fill);
     }
 
     /// Records one successful query completing at `t_nanos`.
@@ -154,6 +173,7 @@ impl ThreadRecorder {
             phase,
             window_secs: self.window_nanos as f64 / 1e9,
             ingest: self.hists[OpClass::Ingest.index()].summary(),
+            batch: self.hists[OpClass::Batch.index()].summary(),
             query: self.hists[OpClass::Query.index()].summary(),
             retry: self.hists[OpClass::Retry.index()].summary(),
             failed: self.hists[OpClass::Failed.index()].summary(),
@@ -211,6 +231,8 @@ pub struct PhaseSnapshot {
     pub phase: Phase,
     pub window_secs: f64,
     pub ingest: Summary,
+    /// Batched ingest flush latencies (one sample per batch).
+    pub batch: Summary,
     pub query: Summary,
     pub retry: Summary,
     pub failed: Summary,
@@ -226,6 +248,7 @@ impl PhaseSnapshot {
             phase,
             window_secs: DEFAULT_WINDOW_NANOS as f64 / 1e9,
             ingest: Summary::default(),
+            batch: Summary::default(),
             query: Summary::default(),
             retry: Summary::default(),
             failed: Summary::default(),
@@ -371,6 +394,11 @@ pub struct ClusterCounters {
     pub puts: u64,
     pub gets: u64,
     pub scans: u64,
+    /// Kvps acknowledged through the batched ingest path (subset of
+    /// `puts`).
+    pub batched_puts: u64,
+    /// Acknowledged `put_batch` calls.
+    pub put_batches: u64,
     pub replica_writes: u64,
     pub regions: u64,
     pub node_writes: Vec<u64>,
@@ -388,6 +416,8 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
             puts: s.puts,
             gets: s.gets,
             scans: s.scans,
+            batched_puts: s.batched_puts,
+            put_batches: s.put_batches,
             replica_writes: s.replica_writes,
             regions: s.regions as u64,
             node_writes: s.node_writes.clone(),
@@ -403,10 +433,21 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
 
 impl ClusterCounters {
     /// Folds another sample in (per-node vectors add element-wise).
+    /// Mean kvps per acknowledged batch (0 when nothing was batched).
+    pub fn batch_fill(&self) -> f64 {
+        if self.put_batches == 0 {
+            0.0
+        } else {
+            self.batched_puts as f64 / self.put_batches as f64
+        }
+    }
+
     pub fn merge(&mut self, other: &ClusterCounters) {
         self.puts += other.puts;
         self.gets += other.gets;
         self.scans += other.scans;
+        self.batched_puts += other.batched_puts;
+        self.put_batches += other.put_batches;
         self.replica_writes += other.replica_writes;
         self.regions = self.regions.max(other.regions);
         if other.node_writes.len() > self.node_writes.len() {
@@ -494,6 +535,7 @@ impl MetricsRegistry {
             );
             for (name, s) in [
                 ("ingest", &p.snapshot.ingest),
+                ("batch", &p.snapshot.batch),
                 ("query", &p.snapshot.query),
                 ("retry", &p.snapshot.retry),
                 ("failed", &p.snapshot.failed),
@@ -558,9 +600,17 @@ impl MetricsRegistry {
             Some(c) => {
                 let _ = write!(
                     out,
-                    "{{\"puts\": {}, \"gets\": {}, \"scans\": {}, \"replica_writes\": {}, \
+                    "{{\"puts\": {}, \"gets\": {}, \"scans\": {}, \"batched_puts\": {}, \
+                     \"put_batches\": {}, \"batch_fill\": {}, \"replica_writes\": {}, \
                      \"regions\": {}, \"node_writes\": ",
-                    c.puts, c.gets, c.scans, c.replica_writes, c.regions
+                    c.puts,
+                    c.gets,
+                    c.scans,
+                    c.batched_puts,
+                    c.put_batches,
+                    json_f64(c.batch_fill()),
+                    c.replica_writes,
+                    c.regions
                 );
                 json_u64_array(&mut out, &c.node_writes);
                 out.push_str(", \"node_reads\": ");
@@ -599,6 +649,7 @@ impl MetricsRegistry {
             let label = prom_label(&p.label);
             for (class, s) in [
                 ("ingest", &p.snapshot.ingest),
+                ("batch", &p.snapshot.batch),
                 ("query", &p.snapshot.query),
                 ("retry", &p.snapshot.retry),
                 ("failed", &p.snapshot.failed),
@@ -668,6 +719,8 @@ impl MetricsRegistry {
                 ("puts", c.puts),
                 ("gets", c.gets),
                 ("scans", c.scans),
+                ("batched_puts", c.batched_puts),
+                ("put_batches", c.put_batches),
                 ("replica_writes", c.replica_writes),
                 ("regions", c.regions),
                 ("failover_reads", c.failover_reads),
@@ -678,6 +731,8 @@ impl MetricsRegistry {
             ] {
                 let _ = writeln!(out, "tpcx_iot_cluster{{counter=\"{name}\"}} {v}");
             }
+            out.push_str("# TYPE tpcx_iot_cluster_batch_fill gauge\n");
+            let _ = writeln!(out, "tpcx_iot_cluster_batch_fill {}", c.batch_fill());
             for (node, w) in c.node_writes.iter().enumerate() {
                 let _ = writeln!(out, "tpcx_iot_cluster_node_writes{{node=\"{node}\"}} {w}");
             }
@@ -974,6 +1029,36 @@ mod tests {
             }
         }
         assert_eq!(a.ingest_series.buckets(), whole.ingest_series.buckets());
+    }
+
+    #[test]
+    fn record_batch_credits_fill_to_ingest_windows() {
+        let mut rec = ThreadRecorder::new(DEFAULT_WINDOW_NANOS);
+        rec.record_batch(100, 5_000, 16, 0);
+        rec.record_batch(200, 7_000, 16, 2);
+        rec.record_batch(1_500_000_000, 6_000, 8, 0);
+        let snap = rec.snapshot(Phase::Measured);
+        assert_eq!(snap.batch.count, 3, "one sample per flush");
+        assert_eq!(snap.ingest.count, 0, "no per-kvp samples");
+        assert_eq!(snap.retry.count, 1, "retried flushes land in retry");
+        assert_eq!(snap.ingest_windows, vec![32, 8], "windows count kvps");
+    }
+
+    #[test]
+    fn batch_fill_is_mean_kvps_per_batch() {
+        let mut c = ClusterCounters {
+            batched_puts: 48,
+            put_batches: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.batch_fill(), 16.0);
+        c.merge(&ClusterCounters {
+            batched_puts: 16,
+            put_batches: 1,
+            ..Default::default()
+        });
+        assert_eq!(c.batch_fill(), 16.0);
+        assert_eq!(ClusterCounters::default().batch_fill(), 0.0);
     }
 
     #[test]

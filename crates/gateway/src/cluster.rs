@@ -11,8 +11,9 @@ use crate::fault::{FaultPlan, FaultState, FaultVerdict};
 use crate::region::RegionMap;
 use crate::{GatewayError, Result};
 use bytes::Bytes;
-use iotkv::{Db, Options};
+use iotkv::{Db, Options, WriteBatch};
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -97,6 +98,12 @@ pub struct ClusterStats {
     pub puts: u64,
     pub gets: u64,
     pub scans: u64,
+    /// Kvps acknowledged through [`Cluster::put_batch`] (a subset of
+    /// `puts`).
+    pub batched_puts: u64,
+    /// `put_batch` calls acknowledged — `batched_puts / put_batches` is
+    /// the mean batch fill.
+    pub put_batches: u64,
     /// Physical replica writes performed (puts × effective replication
     /// when every replica is up).
     pub replica_writes: u64,
@@ -130,6 +137,8 @@ pub struct Cluster {
     puts: AtomicU64,
     gets: AtomicU64,
     scans: AtomicU64,
+    batched_puts: AtomicU64,
+    put_batches: AtomicU64,
     replica_writes: AtomicU64,
     failover_reads: AtomicU64,
     under_replicated_writes: AtomicU64,
@@ -178,6 +187,8 @@ impl Cluster {
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             scans: AtomicU64::new(0),
+            batched_puts: AtomicU64::new(0),
+            put_batches: AtomicU64::new(0),
             replica_writes: AtomicU64::new(0),
             failover_reads: AtomicU64::new(0),
             under_replicated_writes: AtomicU64::new(0),
@@ -269,9 +280,18 @@ impl Cluster {
         } else {
             live.extend_from_slice(&replicas);
         }
+        // Count replica writes as they land, so the stats reconcile with
+        // per-node `writes` (and `node_db_stats`) even when a storage
+        // engine fails partway through the replica loop. `puts` is only
+        // bumped on full acknowledgement.
+        let mut written = 0u64;
         for &node in &live {
-            self.nodes[node].db.put(key, value)?;
+            if let Err(e) = self.nodes[node].db.put(key, value) {
+                self.replica_writes.fetch_add(written, Ordering::Relaxed);
+                return Err(e.into());
+            }
             self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
+            written += 1;
         }
         for &node in &down {
             self.nodes[node]
@@ -282,8 +302,101 @@ impl Cluster {
             self.under_replicated_writes.fetch_add(1, Ordering::Relaxed);
         }
         self.puts.fetch_add(1, Ordering::Relaxed);
-        self.replica_writes
-            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        self.replica_writes.fetch_add(written, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes a batch of kvps in one cluster operation: items are grouped
+    /// per region, fault judgment runs once per `(node, group)`, and each
+    /// live replica applies its group through a single storage-engine
+    /// [`WriteBatch`] — one WAL record and one group-commit slot per
+    /// group instead of one per kvp.
+    ///
+    /// Failure semantics mirror [`Cluster::put`], at batch granularity:
+    /// a transient verdict or a group with no live replica fails the
+    /// whole batch with [`GatewayError::Unavailable`] *before* any
+    /// replica write, so the caller retries the batch as a unit from a
+    /// clean slate. Down replicas are hinted per kvp; the batch is
+    /// acknowledged as long as every group reached at least one live
+    /// replica.
+    pub fn put_batch(&self, items: &[(Bytes, Bytes)]) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        // Group item indices per region id; BTreeMap keeps group order
+        // deterministic for the fault machinery.
+        let mut groups: BTreeMap<u64, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+        {
+            let map = self.regions.read();
+            for (idx, (key, _)) in items.iter().enumerate() {
+                let region = map.lookup(key);
+                groups
+                    .entry(region.id)
+                    .or_insert_with(|| (region.replicas.clone(), Vec::new()))
+                    .1
+                    .push(idx);
+            }
+        }
+        let now = self.fault_tick();
+        // Judge every (node, group) pair before any write: the batch is
+        // the retry unit, so nothing may land if the batch fails.
+        let mut plans: Vec<(&Vec<usize>, Vec<usize>, Vec<usize>)> =
+            Vec::with_capacity(groups.len());
+        for (replicas, idxs) in groups.values() {
+            let mut live = Vec::with_capacity(replicas.len());
+            let mut down = Vec::new();
+            if let Some(fault) = &self.fault {
+                let keys: Vec<&[u8]> = idxs.iter().map(|&i| items[i].0.as_ref()).collect();
+                for &node in replicas {
+                    self.maybe_replay_hints(node, now);
+                    match fault.judge_batch(node, &keys, now) {
+                        FaultVerdict::Ok => live.push(node),
+                        FaultVerdict::NodeDown => down.push(node),
+                        FaultVerdict::Transient => {
+                            return Err(self.unavailable(format!("transient fault on node {node}")))
+                        }
+                    }
+                }
+                if live.is_empty() {
+                    return Err(self.unavailable("no live replica for batched write"));
+                }
+            } else {
+                live.extend_from_slice(replicas);
+            }
+            plans.push((idxs, live, down));
+        }
+        let mut written = 0u64;
+        for (idxs, live, down) in &plans {
+            for &node in live {
+                let mut batch = WriteBatch::new();
+                for &i in idxs.iter() {
+                    batch.put(&items[i].0, &items[i].1);
+                }
+                if let Err(e) = self.nodes[node].db.write(batch) {
+                    self.replica_writes.fetch_add(written, Ordering::Relaxed);
+                    return Err(e.into());
+                }
+                self.nodes[node]
+                    .writes
+                    .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                written += idxs.len() as u64;
+            }
+            for &node in down {
+                let mut hints = self.nodes[node].hints.lock();
+                for &i in idxs.iter() {
+                    hints.push((items[i].0.to_vec(), items[i].1.to_vec()));
+                }
+                self.hinted_writes
+                    .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                self.under_replicated_writes
+                    .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+            }
+        }
+        self.puts.fetch_add(items.len() as u64, Ordering::Relaxed);
+        self.batched_puts
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        self.put_batches.fetch_add(1, Ordering::Relaxed);
+        self.replica_writes.fetch_add(written, Ordering::Relaxed);
         Ok(())
     }
 
@@ -439,6 +552,8 @@ impl Cluster {
         self.puts.store(0, Ordering::Relaxed);
         self.gets.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
+        self.batched_puts.store(0, Ordering::Relaxed);
+        self.put_batches.store(0, Ordering::Relaxed);
         self.replica_writes.store(0, Ordering::Relaxed);
         self.failover_reads.store(0, Ordering::Relaxed);
         self.under_replicated_writes.store(0, Ordering::Relaxed);
@@ -476,6 +591,8 @@ impl Cluster {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
+            batched_puts: self.batched_puts.load(Ordering::Relaxed),
+            put_batches: self.put_batches.load(Ordering::Relaxed),
             replica_writes: self.replica_writes.load(Ordering::Relaxed),
             regions: self.regions.read().len(),
             node_writes: self
@@ -743,6 +860,87 @@ mod tests {
                 }
             }
         }
+        destroy(c);
+    }
+
+    #[test]
+    fn partial_replica_failure_keeps_counters_reconciled() {
+        // Regression: a put that fails on a later replica after earlier
+        // replicas already wrote must still count the writes that landed,
+        // so `replica_writes` reconciles with per-node `writes`.
+        let c = small_cluster("partial", 3, &[]);
+        c.put(b"k1", b"v").unwrap();
+        // Break node 1's engine deterministically: wipe its directory,
+        // then flush — the failed memtable rotation records a background
+        // error that fails node 1's *next* write.
+        let node1_dir = c.config().data_dir.join("node-1");
+        std::fs::remove_dir_all(&node1_dir).unwrap();
+        c.nodes[1].db.flush().unwrap();
+        let err = c.put(b"k2", b"v").unwrap_err();
+        assert!(matches!(err, GatewayError::Storage(_)), "got {err}");
+        let stats = c.stats();
+        assert_eq!(stats.puts, 1, "the failed put was not acknowledged");
+        assert_eq!(stats.node_writes, vec![2, 1, 1]);
+        assert_eq!(
+            stats.replica_writes,
+            stats.node_writes.iter().sum::<u64>(),
+            "replica_writes must reconcile with per-node writes"
+        );
+        destroy(c);
+    }
+
+    #[test]
+    fn put_batch_replicates_and_counts() {
+        let c = small_cluster("batch", 3, &[]);
+        let items: Vec<(Bytes, Bytes)> = (0..10)
+            .map(|i| (Bytes::from(format!("k{i:03}")), Bytes::from_static(b"v")))
+            .collect();
+        c.put_batch(&items).unwrap();
+        c.put_batch(&[]).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.puts, 10);
+        assert_eq!(stats.batched_puts, 10);
+        assert_eq!(stats.put_batches, 1, "the empty batch is a no-op");
+        assert_eq!(stats.replica_writes, 30, "3 replicas per kvp");
+        assert_eq!(c.get(b"k007").unwrap().unwrap().as_ref(), b"v");
+        assert_eq!(c.scan(b"k", b"kzzz", 100).unwrap().len(), 10);
+        destroy(c);
+    }
+
+    #[test]
+    fn put_batch_spans_regions() {
+        let c = small_cluster("batch-span", 4, &["m"]);
+        assert_eq!(c.stats().regions, 2);
+        let items: Vec<(Bytes, Bytes)> = ["alpha", "bravo", "november", "zulu"]
+            .iter()
+            .map(|k| {
+                (
+                    Bytes::copy_from_slice(k.as_bytes()),
+                    Bytes::from_static(b"v"),
+                )
+            })
+            .collect();
+        c.put_batch(&items).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.puts, 4);
+        assert_eq!(stats.batched_puts, 4);
+        assert_eq!(stats.put_batches, 1);
+        assert_eq!(stats.replica_writes, 12, "each region-group hits rf=3");
+        let rows = c.scan(b"a", b"zz", 100).unwrap();
+        assert_eq!(rows.len(), 4);
+        destroy(c);
+    }
+
+    #[test]
+    fn purge_resets_batch_counters() {
+        let mut c = small_cluster("batch-purge", 2, &[]);
+        let items: Vec<(Bytes, Bytes)> = vec![(Bytes::from_static(b"a"), Bytes::from_static(b"v"))];
+        c.put_batch(&items).unwrap();
+        assert_eq!(c.stats().put_batches, 1);
+        c.purge().unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.batched_puts, 0);
+        assert_eq!(stats.put_batches, 0);
         destroy(c);
     }
 

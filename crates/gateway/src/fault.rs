@@ -219,6 +219,28 @@ impl FaultState {
     /// Judges one operation on `node` at global op `now`, applying
     /// latency injection as a side effect.
     pub fn judge(&self, node: usize, key: &[u8], now: u64) -> FaultVerdict {
+        self.judge_hashed(node, hash_key(key), now)
+    }
+
+    /// Judges one *batched* operation: the whole group of keys headed for
+    /// `node` gets a single verdict, keyed on the combined FNV hash of
+    /// every key in order. One judgment (and at most one transient burst
+    /// entry) per `(node, group)` — batching amortises fault exposure the
+    /// same way it amortises WAL records.
+    pub fn judge_batch(&self, node: usize, keys: &[&[u8]], now: u64) -> FaultVerdict {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for key in keys {
+            for &b in *key {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        self.judge_hashed(node, h, now)
+    }
+
+    /// Shared verdict logic for single and batched judgments, keyed on a
+    /// pre-computed hash.
+    fn judge_hashed(&self, node: usize, h: u64, now: u64) -> FaultVerdict {
         if self.node_down(node, now) {
             self.nodes[node].was_down.store(true, Ordering::Release);
             self.down_rejections.fetch_add(1, Ordering::Relaxed);
@@ -229,7 +251,6 @@ impl FaultState {
             std::thread::sleep(self.plan.added_latency);
         }
         if self.plan.transient_fraction > 0.0 {
-            let h = hash_key(key);
             let burst = self.burst_len(node, h);
             if burst > 0 {
                 let mut bursts = self.nodes[node]
@@ -319,6 +340,33 @@ mod tests {
         assert_eq!(c1, c2);
         assert!(e1 > 0, "a 50% fraction must inject something");
         // Bursts are finite: every key eventually succeeded (loop ended).
+    }
+
+    #[test]
+    fn batch_judgment_is_one_verdict_per_group() {
+        // fraction 1.0: every (node, group) starts with a burst of 1..=2.
+        let plan = FaultPlan::quiet(42).with_transient(1.0, 2);
+        let f = FaultState::new(plan, 1);
+        let keys: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+        let mut errors = 0u32;
+        // Retry the whole group until it goes through, as the driver
+        // would; the loop ending proves the burst is finite.
+        while f.judge_batch(0, &keys, f.tick()) == FaultVerdict::Transient {
+            errors += 1;
+        }
+        assert!((1..=2).contains(&errors), "one burst for the whole group");
+        assert_eq!(f.counters().transient_errors, u64::from(errors));
+        // A different group gets its own independent burst.
+        let other: Vec<&[u8]> = vec![b"x", b"y"];
+        assert_eq!(f.judge_batch(0, &other, f.tick()), FaultVerdict::Transient);
+        // The group verdict matches a single-key judgment of the
+        // equivalent concatenated byte stream (same combined hash).
+        let f2 = FaultState::new(FaultPlan::quiet(42).with_transient(1.0, 2), 1);
+        let mut single = 0u32;
+        while f2.judge(0, b"abc", f2.tick()) == FaultVerdict::Transient {
+            single += 1;
+        }
+        assert_eq!(single, errors, "group hash == concatenated-key hash");
     }
 
     #[test]

@@ -132,6 +132,19 @@ impl KvStore for GatewayKvStore {
             .map_err(backend)
     }
 
+    fn insert_batch(&self, table: &str, items: &[(String, FieldMap)]) -> StoreResult<()> {
+        let kvps: Vec<(Bytes, Bytes)> = items
+            .iter()
+            .map(|(key, values)| {
+                (
+                    Bytes::from(Self::storage_key(table, key)),
+                    Bytes::from(encode_fields(values)),
+                )
+            })
+            .collect();
+        self.cluster.put_batch(&kvps).map_err(backend)
+    }
+
     fn read(&self, table: &str, key: &str, fields: Option<&[String]>) -> StoreResult<FieldMap> {
         let k = Self::storage_key(table, key);
         let value = self
@@ -297,6 +310,23 @@ mod tests {
         // Escape characters themselves survive the round trip.
         s.insert("p%s", "k", &row(&[("f", "pct")])).unwrap();
         assert_eq!(s.read("p%s", "k", None).unwrap(), row(&[("f", "pct")]));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn insert_batch_lands_every_row() {
+        let (s, dir) = store("batch");
+        let items: Vec<(String, FieldMap)> = (0..20)
+            .map(|i| (format!("user{i:02}"), row(&[("f", "v")])))
+            .collect();
+        s.insert_batch("usertable", &items).unwrap();
+        for (key, values) in &items {
+            assert_eq!(&s.read("usertable", key, None).unwrap(), values);
+        }
+        let stats = s.cluster().stats();
+        assert_eq!(stats.puts, 20);
+        assert_eq!(stats.batched_puts, 20);
+        assert_eq!(stats.put_batches, 1);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -60,7 +60,10 @@ struct ImmMem {
 
 struct VersionState {
     version: Arc<Version>,
-    tables: HashMap<u64, Arc<Table>>,
+    /// Open table handles, shared with readers via a cheap `Arc` clone
+    /// (gets/scans must not deep-copy the map on every operation);
+    /// mutators copy-on-write through `Arc::make_mut`.
+    tables: Arc<HashMap<u64, Arc<Table>>>,
     next_file_id: u64,
     log_number: u64,
 }
@@ -235,7 +238,7 @@ impl DbInner {
                 },
             ));
             let table = Table::open(&table_path(&self.dir, *id), *id, Arc::clone(&self.cache))?;
-            vset.tables.insert(*id, Arc::new(table));
+            Arc::make_mut(&mut vset.tables).insert(*id, Arc::new(table));
         }
         vset.version = Arc::new(vset.version.apply(&[], &added));
         vset.log_number = vset.log_number.max(front.wal_id + 1);
@@ -330,12 +333,12 @@ impl DbInner {
                 },
             ));
             let table = Table::open(&table_path(&self.dir, *id), *id, Arc::clone(&self.cache))?;
-            vset.tables.insert(*id, Arc::new(table));
+            Arc::make_mut(&mut vset.tables).insert(*id, Arc::new(table));
         }
         vset.version = Arc::new(vset.version.apply(&deleted, &added));
         self.persist(&vset)?;
         for id in &deleted {
-            vset.tables.remove(id);
+            Arc::make_mut(&mut vset.tables).remove(id);
         }
         drop(vset);
 
@@ -449,7 +452,7 @@ impl Db {
             imm: Mutex::new(VecDeque::new()),
             vset: Mutex::new(VersionState {
                 version: Arc::new(version),
-                tables,
+                tables: Arc::new(tables),
                 next_file_id,
                 log_number,
             }),
@@ -560,7 +563,7 @@ impl Db {
         // 3. Tables.
         let (version, tables) = {
             let vset = self.inner.vset.lock();
-            (Arc::clone(&vset.version), vset.tables.clone())
+            (Arc::clone(&vset.version), Arc::clone(&vset.tables))
         };
         // L0 newest flush first (highest file id).
         for f in version.levels[0].iter().rev() {
@@ -616,7 +619,7 @@ impl Db {
         }
         let (version, tables) = {
             let vset = self.inner.vset.lock();
-            (Arc::clone(&vset.version), vset.tables.clone())
+            (Arc::clone(&vset.version), Arc::clone(&vset.tables))
         };
         let seek_key = InternalKey::seek_bound(Bytes::copy_from_slice(start), SeqNo::MAX);
         // `end` is exclusive, but FileMeta::overlaps uses inclusive bounds;

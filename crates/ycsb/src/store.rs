@@ -41,6 +41,17 @@ pub trait KvStore: Send + Sync {
     /// Inserts a record. Inserting an existing key overwrites it.
     fn insert(&self, table: &str, key: &str, values: &FieldMap) -> StoreResult<()>;
 
+    /// Inserts a batch of records in one backend operation. The batch is an
+    /// all-or-nothing acknowledgement unit: on error the caller must assume
+    /// nothing was acked. The default degrades to per-record inserts for
+    /// stores without a batched path.
+    fn insert_batch(&self, table: &str, items: &[(String, FieldMap)]) -> StoreResult<()> {
+        for (key, values) in items {
+            self.insert(table, key, values)?;
+        }
+        Ok(())
+    }
+
     /// Reads a record; `fields = None` means all fields.
     fn read(&self, table: &str, key: &str, fields: Option<&[String]>) -> StoreResult<FieldMap>;
 

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Batched-vs-single ingest evidence: runs the bench_ingest bin and writes
+# BENCH_ingest.json (kvps/s at batch sizes 1/16/64/256).
+#
+#   ./scripts/bench_ingest.sh          # full run, artifact at repo root
+#   ./scripts/bench_ingest.sh 100      # smoke scale (used by ci.sh)
+#
+# Override the artifact path with BENCH_INGEST_OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-20}"
+export BENCH_INGEST_OUT="${BENCH_INGEST_OUT:-BENCH_ingest.json}"
+
+cargo run --release -q -p bench --bin bench_ingest -- "$SCALE"

@@ -37,6 +37,10 @@ if [[ "${1:-}" != "quick" ]]; then
         cargo run --release -q -p bench --bin fault_sweep -- 100
     cargo run --release -q -p bench --bin check_export -- \
         "$ARTIFACT_DIR/fault_sweep.json" "$ARTIFACT_DIR/fault_sweep.prom"
+
+    echo "== batched ingest (smoke) =="
+    BENCH_INGEST_OUT="$ARTIFACT_DIR/BENCH_ingest.json" \
+        ./scripts/bench_ingest.sh 100
 fi
 
 echo "CI gate passed."

@@ -167,6 +167,101 @@ fn seeded_fault_plan_reproduces_identical_counters() {
     assert!(a.1 > 0, "a 30% transient plan must force retries");
 }
 
+/// A batch is one WAL record, so a crash that tears the log mid-record
+/// must drop the whole batch and keep every earlier batch intact — no
+/// partially-applied multi-op batch may survive recovery.
+#[test]
+fn wal_replay_keeps_batches_atomic_after_torn_tail() {
+    let dir = tmpdir("torn-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let db = iotkv::Db::open(&dir, small_options()).unwrap();
+        let mut first = iotkv::WriteBatch::new();
+        for i in 0..8 {
+            first.put(format!("a{i}").as_bytes(), b"first");
+        }
+        db.write(first).unwrap();
+        let mut second = iotkv::WriteBatch::new();
+        for i in 0..8 {
+            second.put(format!("b{i}").as_bytes(), b"second");
+        }
+        db.write(second).unwrap();
+    }
+    // Simulate the crash: tear a few bytes off the live WAL's tail,
+    // landing inside the second batch's record.
+    let wal = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .max()
+        .expect("live WAL present");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+
+    let db = iotkv::Db::open(&dir, small_options()).unwrap();
+    for i in 0..8 {
+        assert_eq!(
+            db.get(format!("a{i}").as_bytes()).unwrap().as_deref(),
+            Some(&b"first"[..]),
+            "intact batch must replay in full"
+        );
+        assert!(
+            db.get(format!("b{i}").as_bytes()).unwrap().is_none(),
+            "torn batch must vanish atomically"
+        );
+    }
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A batched put spanning two regions where one region's replica is down:
+/// the batch is still acknowledged, the down node gets hints for exactly
+/// that region-group's kvps, and the healthy region replicates in full.
+#[test]
+fn put_batch_partial_region_fault_hints_only_that_group() {
+    let dir = tmpdir("batch-region");
+    let mut config = gateway::ClusterConfig::new(&dir, 4);
+    config.storage = small_options();
+    config.split_points = vec![bytes::Bytes::from_static(b"m")];
+    // Node 0 replicates only region 0 ([0,1,2]; region 1 is [1,2,3]),
+    // and is down from the first op on.
+    config.fault_plan = Some(gateway::FaultPlan::quiet(9).with_crash(0, 0, None));
+    let cluster = gateway::Cluster::start(config).unwrap();
+
+    let items: Vec<(bytes::Bytes, bytes::Bytes)> = ["a0", "a1", "a2", "z0", "z1", "z2"]
+        .iter()
+        .map(|k| {
+            (
+                bytes::Bytes::copy_from_slice(k.as_bytes()),
+                bytes::Bytes::from_static(b"v"),
+            )
+        })
+        .collect();
+    cluster
+        .put_batch(&items)
+        .expect("two live replicas must ack");
+
+    let stats = cluster.stats();
+    assert_eq!(stats.puts, 6);
+    assert_eq!(stats.batched_puts, 6);
+    assert_eq!(stats.put_batches, 1);
+    // Region 0's three kvps wrote 2 live replicas; region 1's wrote 3.
+    assert_eq!(stats.replica_writes, 2 * 3 + 3 * 3);
+    assert_eq!(stats.resilience.under_replicated_writes, 3);
+    assert_eq!(stats.resilience.hinted_writes, 3);
+    assert_eq!(stats.resilience.unavailable_errors, 0);
+    assert_eq!(stats.node_writes[0], 0, "down node saw no direct writes");
+
+    // Every batch member is readable (region 0 via read failover).
+    for (k, _) in &items {
+        assert!(cluster.get(k).unwrap().is_some(), "lost {k:?}");
+    }
+    drop(cluster);
+    std::fs::remove_dir_all(dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

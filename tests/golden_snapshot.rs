@@ -79,6 +79,19 @@ fn synthetic_registry() -> MetricsRegistry {
             let latency = 20_000 + rng.next_u64() % 180_000;
             let retries = u64::from(rng.next_u64().is_multiple_of(10));
             rec.record_ingest(t, latency, retries);
+            // Interleave batched flushes so the batch class and its
+            // windowed kvps credit appear in both exports. The cadence
+            // never lands inside the stall (i % 3200 ≠ 0 there), so the
+            // starved window stays below the floor.
+            if i % 640 == 0 {
+                let fill = 16 + rng.next_u64() % 17;
+                rec.record_batch(
+                    t,
+                    150_000 + rng.next_u64() % 450_000,
+                    fill,
+                    u64::from(i == 0),
+                );
+            }
             if i % 400 == 0 {
                 rec.record_query(t, 300_000 + rng.next_u64() % 900_000, 0);
             }
@@ -111,6 +124,8 @@ fn synthetic_registry() -> MetricsRegistry {
         puts: 5_590,
         gets: 0,
         scans: 16,
+        batched_puts: 4_096,
+        put_batches: 256,
         replica_writes: 16_770,
         regions: 6,
         node_writes: vec![1_900, 1_845, 1_845],
