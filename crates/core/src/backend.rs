@@ -79,6 +79,12 @@ pub struct ResilienceCounters {
     pub hinted_writes: u64,
     pub replayed_hints: u64,
     pub unavailable_errors: u64,
+    /// Transient faults absorbed inside streaming scans (re-judged at
+    /// region-cursor open instead of failing the query).
+    pub scan_retries: u64,
+    /// Mid-stream failovers: a scan resumed on another replica from the
+    /// successor of the last yielded key.
+    pub scan_resumes: u64,
 }
 
 impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
@@ -89,6 +95,8 @@ impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
             hinted_writes: r.hinted_writes,
             replayed_hints: r.replayed_hints,
             unavailable_errors: r.unavailable_errors,
+            scan_retries: r.scan_retries,
+            scan_resumes: r.scan_resumes,
         }
     }
 }
@@ -111,6 +119,30 @@ pub trait GatewayBackend: Send + Sync {
 
     /// Ordered scan of `[start, end)`, up to `limit` rows.
     fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> BackendResult<Vec<(Bytes, Bytes)>>;
+
+    /// Streams `[start, end)` in key order into `visit` without
+    /// materializing the window; `visit` returns `false` to stop early.
+    /// Returns the number of rows visited.
+    ///
+    /// The default delegates to [`GatewayBackend::scan`] so simple
+    /// backends work unchanged; streaming backends override it so no
+    /// `Vec` of rows ever crosses this boundary on the query path.
+    fn scan_fold(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> BackendResult<u64> {
+        let rows = self.scan(start, end, usize::MAX)?;
+        let mut visited = 0u64;
+        for (k, v) in &rows {
+            visited += 1;
+            if !visit(k, v) {
+                break;
+            }
+        }
+        Ok(visited)
+    }
 
     /// The replication factor applied to ingested data (the prerequisite
     /// *data replication check* validates this is ≥ 3, capped by nodes).
@@ -137,6 +169,23 @@ impl GatewayBackend for gateway::Cluster {
 
     fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> BackendResult<Vec<(Bytes, Bytes)>> {
         gateway::Cluster::scan(self, start, end, limit).map_err(BackendError::from)
+    }
+
+    fn scan_fold(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> BackendResult<u64> {
+        let mut visited = 0u64;
+        for item in self.scan_stream(start, end) {
+            let (k, v) = item.map_err(BackendError::from)?;
+            visited += 1;
+            if !visit(&k, &v) {
+                break;
+            }
+        }
+        Ok(visited)
     }
 
     fn replication_factor(&self) -> usize {
@@ -234,6 +283,23 @@ impl GatewayBackend for MemBackend {
             .collect())
     }
 
+    fn scan_fold(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> BackendResult<u64> {
+        let map = self.map.read();
+        let mut visited = 0u64;
+        for (k, v) in map.range(start.to_vec()..end.to_vec()) {
+            visited += 1;
+            if !visit(k, v) {
+                break;
+            }
+        }
+        Ok(visited)
+    }
+
     fn replication_factor(&self) -> usize {
         3
     }
@@ -255,6 +321,63 @@ mod tests {
         assert_eq!(b.ingested_count(), 2);
         assert!(b.scan(b"a", b"z", 10).unwrap().is_empty());
         assert_ne!(b.bytes_checksum(), 0);
+    }
+
+    #[test]
+    fn scan_fold_streams_and_stops_early() {
+        let b = MemBackend::new();
+        for k in ["a", "b", "c", "d"] {
+            b.insert(k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        let mut seen = Vec::new();
+        let visited = b
+            .scan_fold(b"a", b"z", &mut |k, _| {
+                seen.push(String::from_utf8_lossy(k).into_owned());
+                true
+            })
+            .unwrap();
+        assert_eq!(visited, 4);
+        assert_eq!(seen, vec!["a", "b", "c", "d"]);
+        // Early stop: the visitor's `false` ends the stream.
+        let visited = b.scan_fold(b"a", b"z", &mut |_, _| false).unwrap();
+        assert_eq!(visited, 1);
+
+        // The trait default (materializing) agrees with the override.
+        struct Defaulted(MemBackend);
+        impl GatewayBackend for Defaulted {
+            fn insert(&self, k: &[u8], v: &[u8]) -> BackendResult<()> {
+                self.0.insert(k, v)
+            }
+            fn scan(
+                &self,
+                start: &[u8],
+                end: &[u8],
+                limit: usize,
+            ) -> BackendResult<Vec<(Bytes, Bytes)>> {
+                self.0.scan(start, end, limit)
+            }
+            fn replication_factor(&self) -> usize {
+                3
+            }
+            fn ingested_count(&self) -> u64 {
+                self.0.ingested_count()
+            }
+        }
+        let d = Defaulted(MemBackend::new());
+        for k in ["a", "b", "c"] {
+            d.insert(k.as_bytes(), b"v").unwrap();
+        }
+        let mut n = 0;
+        assert_eq!(
+            d.scan_fold(b"a", b"z", &mut |_, _| {
+                n += 1;
+                true
+            })
+            .unwrap(),
+            3
+        );
+        assert_eq!(n, 3);
+        assert_eq!(d.scan_fold(b"a", b"z", &mut |_, _| false).unwrap(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::backend::GatewayBackend;
 use crate::datagen::ReadingGenerator;
-use crate::query::{execute, QuerySpec};
+use crate::query::{execute_with_retry, QuerySpec};
 use crate::retry::{with_retry, RetryPolicy};
 use crate::sensors::substation_key;
 use crate::telemetry::RunTelemetry;
@@ -233,16 +233,24 @@ pub fn run_driver_with_telemetry(
                             gen.now_ms(),
                         );
                         let q_start = Instant::now();
-                        let attempt = with_retry(&config.retry, &mut retry_rng, || {
-                            execute(backend.as_ref(), &spec)
-                        });
-                        out.query_retries += attempt.retries;
+                        // Per-interval retry: a transient scan fault
+                        // re-streams one 5 s window inside the query
+                        // instead of re-running both windows.
+                        let result = execute_with_retry(
+                            backend.as_ref(),
+                            &spec,
+                            &config.retry,
+                            &mut retry_rng,
+                        );
                         let latency = q_start.elapsed().as_nanos() as u64;
-                        match attempt.result {
+                        match result {
                             Ok(outcome) => {
+                                out.query_retries += outcome.retries;
                                 measurements.record_ok(OpKind::Scan, latency);
                                 if let (Some(rec), Some(t)) = (recorder.as_mut(), telemetry) {
-                                    rec.record_query(t.now_nanos(), latency, attempt.retries);
+                                    let now = t.now_nanos();
+                                    rec.record_query(now, latency, outcome.retries);
+                                    rec.record_scan(now, latency, outcome.rows_read);
                                 }
                                 out.rows.record(outcome.rows_read as f64);
                                 out.queries += 1;

@@ -8,7 +8,8 @@
 //! the paper's Listing 1.
 
 use crate::backend::{BackendResult, GatewayBackend};
-use crate::keys::{decode_reading, sensor_time_range};
+use crate::keys::sensor_time_range;
+use crate::retry::{with_retry, RetryPolicy};
 use simkit::rng::Stream;
 
 /// The aggregate a query template computes.
@@ -106,62 +107,129 @@ pub struct QueryOutcome {
     pub spec: QuerySpec,
     pub current: IntervalAggregate,
     pub past: IntervalAggregate,
-    /// Total readings read to answer the query (Fig 12's metric counts
-    /// the readings aggregated per query).
+    /// Readings successfully decoded and aggregated to answer the query
+    /// (Fig 12's metric). Rows scanned but not decodable as readings do
+    /// **not** count — the <200-average validity check cannot be
+    /// satisfied by junk rows.
     pub rows_read: u64,
+    /// Transient scan failures retried at the interval level (each 5 s
+    /// window re-streams independently under the driver's retry policy).
+    pub retries: u64,
 }
 
-fn aggregate(kind: QueryKind, rows: &[(bytes::Bytes, bytes::Bytes)]) -> IntervalAggregate {
-    let mut count = 0u64;
-    let mut sum = 0.0f64;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    for (k, v) in rows {
-        let Some(r) = decode_reading(k, v) else {
-            continue;
-        };
-        let Ok(value) = r.value.parse::<f64>() else {
-            continue;
-        };
-        count += 1;
-        sum += value;
-        min = min.min(value);
-        max = max.max(value);
+/// Incremental aggregation state for one interval — the streaming
+/// replacement for collecting a window into a `Vec` first.
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowAgg {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WindowAgg {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
     }
-    let value = if count == 0 {
-        None
-    } else {
-        Some(match kind {
-            QueryKind::MaxReading => max,
-            QueryKind::MinReading => min,
-            QueryKind::AverageReading => sum / count as f64,
-            QueryKind::ReadingCount => count as f64,
-        })
-    };
-    IntervalAggregate { rows: count, value }
+
+    fn finish(self, kind: QueryKind) -> IntervalAggregate {
+        let value = if self.count == 0 {
+            None
+        } else {
+            Some(match kind {
+                QueryKind::MaxReading => self.max,
+                QueryKind::MinReading => self.min,
+                QueryKind::AverageReading => self.sum / self.count as f64,
+                QueryKind::ReadingCount => self.count as f64,
+            })
+        };
+        IntervalAggregate {
+            rows: self.count,
+            value,
+        }
+    }
 }
 
-/// Executes `spec` against `backend`: two range scans + aggregation.
+/// Decodes just the numeric sensor value from one encoded kvp, applying
+/// the same accept/reject rules as
+/// [`decode_reading`](crate::keys::decode_reading) followed by an `f64`
+/// parse — but without allocating a [`SensorReading`]
+/// (`crate::keys::SensorReading`): only the value prefix before the
+/// first `|` is parsed, the rest is merely validated.
+fn decode_value(key: &[u8], value: &[u8]) -> Option<f64> {
+    // Key: substation | sensor | 13-digit POSIX millis.
+    let key_str = std::str::from_utf8(key).ok()?;
+    let mut parts = key_str.splitn(3, '|');
+    parts.next()?;
+    parts.next()?;
+    parts.next()?.parse::<u64>().ok()?;
+    // Value: reading | unit | padding — only the reading is parsed.
+    let value_str = std::str::from_utf8(value).ok()?;
+    let mut parts = value_str.splitn(3, '|');
+    let reading = parts.next()?;
+    parts.next()?; // unit
+    parts.next()?; // padding present
+    reading.parse::<f64>().ok()
+}
+
+/// Streams one interval through the backend's fold API, aggregating
+/// incrementally. No row `Vec` is ever built.
+fn scan_interval(
+    backend: &dyn GatewayBackend,
+    spec: &QuerySpec,
+    from_ms: u64,
+    to_ms: u64,
+) -> BackendResult<IntervalAggregate> {
+    let (start, end) = sensor_time_range(&spec.substation, &spec.sensor, from_ms, to_ms);
+    let mut agg = WindowAgg::default();
+    backend.scan_fold(&start, &end, &mut |k, v| {
+        if let Some(value) = decode_value(k, v) {
+            agg.observe(value);
+        }
+        true
+    })?;
+    Ok(agg.finish(spec.kind))
+}
+
+/// Executes `spec` against `backend`: two streaming range scans folded
+/// incrementally into the aggregates.
 pub fn execute(backend: &dyn GatewayBackend, spec: &QuerySpec) -> BackendResult<QueryOutcome> {
-    let (cur_start, cur_end) = sensor_time_range(
-        &spec.substation,
-        &spec.sensor,
-        spec.current_from_ms,
-        spec.current_to_ms,
-    );
-    let (past_start, past_end) = sensor_time_range(
-        &spec.substation,
-        &spec.sensor,
-        spec.past_from_ms,
-        spec.past_to_ms,
-    );
-    let current_rows = backend.scan(&cur_start, &cur_end, usize::MAX)?;
-    let past_rows = backend.scan(&past_start, &past_end, usize::MAX)?;
-    let rows_read = (current_rows.len() + past_rows.len()) as u64;
+    execute_with_retry(backend, spec, &RetryPolicy::NONE, &mut Stream::new(0))
+}
+
+/// Executes `spec` with per-interval retry: each window's scan is
+/// retried independently under `policy` (parity with the ingest path's
+/// use of [`with_retry`]), so a transient fault re-streams one 5 s
+/// window instead of failing — or restarting — the whole dashboard
+/// query. The aggregation state is rebuilt inside the retried closure,
+/// so a partial stream never double-counts.
+pub fn execute_with_retry(
+    backend: &dyn GatewayBackend,
+    spec: &QuerySpec,
+    policy: &RetryPolicy,
+    rng: &mut Stream,
+) -> BackendResult<QueryOutcome> {
+    let mut retries = 0u64;
+    let mut interval = |from_ms, to_ms| {
+        let out = with_retry(policy, rng, || scan_interval(backend, spec, from_ms, to_ms));
+        retries += out.retries;
+        out.result
+    };
+    let current = interval(spec.current_from_ms, spec.current_to_ms)?;
+    let past = interval(spec.past_from_ms, spec.past_to_ms)?;
     Ok(QueryOutcome {
-        current: aggregate(spec.kind, &current_rows),
-        past: aggregate(spec.kind, &past_rows),
-        rows_read,
+        rows_read: current.rows + past.rows,
+        current,
+        past,
+        retries,
         spec: spec.clone(),
     })
 }
@@ -226,6 +294,97 @@ mod tests {
         let out = execute(&b, &spec(QueryKind::ReadingCount, now, past_from)).unwrap();
         assert_eq!(out.current.value, Some(10.0));
         assert_eq!(out.past.value, Some(5.0));
+    }
+
+    #[test]
+    fn rows_read_counts_only_decoded_readings() {
+        // Regression: raw scanned rows that cannot be decoded as sensor
+        // readings must not inflate rows_read (the Fig 12 validity
+        // metric), which previously counted every scanned row.
+        let b = MemBackend::new();
+        let now = 2_000_000u64;
+        load_readings(&b, "pmu-000", now - 4000, 4, 10.0);
+        let junk_key = |ts: u64| {
+            let mut key = b"PSS-000000|pmu-000|".to_vec();
+            key.extend_from_slice(format!("{ts:013}").as_bytes());
+            key
+        };
+        // In-range rows the scan returns but decoding rejects: a value
+        // with no field structure, and a non-numeric reading field.
+        b.insert(&junk_key(now - 3999), b"no-separators-at-all")
+            .unwrap();
+        b.insert(&junk_key(now - 3998), b"abc|volts|xxxx").unwrap();
+        let out = execute(&b, &spec(QueryKind::ReadingCount, now, 100)).unwrap();
+        assert_eq!(out.current.rows, 4, "only decodable readings aggregate");
+        assert_eq!(out.rows_read, 4, "junk rows must not count as read");
+        assert_eq!(out.current.value, Some(4.0));
+    }
+
+    #[test]
+    fn per_interval_retry_recovers_transient_scans() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A backend whose first scan attempt always fails transiently.
+        struct Flaky {
+            inner: MemBackend,
+            failures: AtomicU64,
+        }
+        impl GatewayBackend for Flaky {
+            fn insert(&self, k: &[u8], v: &[u8]) -> BackendResult<()> {
+                self.inner.insert(k, v)
+            }
+            fn scan(
+                &self,
+                start: &[u8],
+                end: &[u8],
+                limit: usize,
+            ) -> BackendResult<Vec<(bytes::Bytes, bytes::Bytes)>> {
+                self.inner.scan(start, end, limit)
+            }
+            fn scan_fold(
+                &self,
+                start: &[u8],
+                end: &[u8],
+                visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+            ) -> BackendResult<u64> {
+                let armed = self
+                    .failures
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| f.checked_sub(1))
+                    .is_ok();
+                if armed {
+                    return Err(crate::backend::BackendError::transient("injected"));
+                }
+                self.inner.scan_fold(start, end, visit)
+            }
+            fn replication_factor(&self) -> usize {
+                3
+            }
+            fn ingested_count(&self) -> u64 {
+                self.inner.ingested_count()
+            }
+        }
+        let b = Flaky {
+            inner: MemBackend::new(),
+            failures: AtomicU64::new(1),
+        };
+        let now = 2_000_000u64;
+        load_readings(&b.inner, "pmu-000", now - 4000, 6, 10.0);
+        let policy = RetryPolicy {
+            base_backoff: std::time::Duration::ZERO,
+            ..RetryPolicy::DEFAULT
+        };
+        let mut rng = Stream::new(7);
+        let out = execute_with_retry(
+            &b,
+            &spec(QueryKind::ReadingCount, now, 100),
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.retries, 1, "one interval re-streamed once");
+        assert_eq!(out.current.rows, 6, "the retried window is complete");
+        // Without retries the same fault fails the query outright.
+        b.failures.store(1, Ordering::Relaxed);
+        assert!(execute(&b, &spec(QueryKind::ReadingCount, now, 100)).is_err());
     }
 
     #[test]

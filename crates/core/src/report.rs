@@ -113,7 +113,8 @@ pub fn full_disclosure_report(
                 out,
                 "resilience: {} insert retries, {} query retries, {} insert \
                  failures; {} failover reads, {} under-replicated writes, \
-                 {} hinted, {} replayed, {} unavailable errors",
+                 {} hinted, {} replayed, {} unavailable errors; \
+                 {} scan retries, {} mid-scan failovers",
                 r.insert_retries,
                 r.query_retries,
                 r.insert_failures,
@@ -122,6 +123,8 @@ pub fn full_disclosure_report(
                 r.backend.hinted_writes,
                 r.backend.replayed_hints,
                 r.backend.unavailable_errors,
+                r.backend.scan_retries,
+                r.backend.scan_resumes,
             );
         }
         if let Some(e) = &it.engine {
@@ -195,6 +198,13 @@ pub fn full_disclosure_report(
                 c.batched_puts,
                 c.put_batches,
                 c.batch_fill(),
+            );
+        }
+        if c.scans > 0 {
+            let _ = writeln!(
+                out,
+                "streamed scans: {} rows in {} scans ({} mid-scan failovers)",
+                c.rows_streamed, c.scans, c.scan_resumes,
             );
         }
     }

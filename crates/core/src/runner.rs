@@ -469,6 +469,26 @@ impl GatewayBackend for GatewaySutBackend {
             .map_err(crate::backend::BackendError::from)
     }
 
+    fn scan_fold(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> crate::backend::BackendResult<u64> {
+        // Stream under the lifecycle read guard (restart/purge hold the
+        // write side), so rows flow straight from the region iterators.
+        let cluster = self.cluster.read();
+        let mut visited = 0u64;
+        for item in cluster.scan_stream(start, end) {
+            let (k, v) = item.map_err(crate::backend::BackendError::from)?;
+            visited += 1;
+            if !visit(&k, &v) {
+                break;
+            }
+        }
+        Ok(visited)
+    }
+
     fn replication_factor(&self) -> usize {
         self.cluster.read().effective_replication()
     }

@@ -42,7 +42,9 @@ impl Phase {
 
 /// Operation classes tracked per phase. `Batch` holds the end-to-end
 /// latency of batched ingest flushes (one sample per batch, however many
-/// kvps it carried); `Retry` holds the end-to-end latency of operations
+/// kvps it carried); `Scan` holds the end-to-end latency of streaming
+/// range scans, with the rows they streamed credited to a per-window
+/// rows series; `Retry` holds the end-to-end latency of operations
 /// that needed at least one retry (retry storms show up here long before
 /// they show up in failure counts); `Failed` holds the latency of
 /// operations that exhausted the retry policy.
@@ -51,15 +53,17 @@ pub enum OpClass {
     Ingest,
     Batch,
     Query,
+    Scan,
     Retry,
     Failed,
 }
 
 impl OpClass {
-    pub const ALL: [OpClass; 5] = [
+    pub const ALL: [OpClass; 6] = [
         OpClass::Ingest,
         OpClass::Batch,
         OpClass::Query,
+        OpClass::Scan,
         OpClass::Retry,
         OpClass::Failed,
     ];
@@ -69,8 +73,9 @@ impl OpClass {
             OpClass::Ingest => 0,
             OpClass::Batch => 1,
             OpClass::Query => 2,
-            OpClass::Retry => 3,
-            OpClass::Failed => 4,
+            OpClass::Scan => 3,
+            OpClass::Retry => 4,
+            OpClass::Failed => 5,
         }
     }
 
@@ -79,6 +84,7 @@ impl OpClass {
             OpClass::Ingest => "ingest",
             OpClass::Batch => "batch",
             OpClass::Query => "query",
+            OpClass::Scan => "scan",
             OpClass::Retry => "retry",
             OpClass::Failed => "failed",
         }
@@ -91,9 +97,10 @@ impl OpClass {
 #[derive(Clone, Debug)]
 pub struct ThreadRecorder {
     window_nanos: u64,
-    hists: [Histogram; 5],
+    hists: [Histogram; 6],
     ingest_series: TimeSeries,
     query_series: TimeSeries,
+    scan_rows_series: TimeSeries,
 }
 
 impl ThreadRecorder {
@@ -103,6 +110,7 @@ impl ThreadRecorder {
             hists: std::array::from_fn(|_| Histogram::new()),
             ingest_series: TimeSeries::new(window_nanos),
             query_series: TimeSeries::new(window_nanos),
+            scan_rows_series: TimeSeries::new(window_nanos),
         }
     }
 
@@ -141,6 +149,16 @@ impl ThreadRecorder {
         self.query_series.add(t_nanos, 1);
     }
 
+    /// Records the streaming-scan side of one successful query: the scan
+    /// latency lands in the `Scan` histogram and the `rows` the query
+    /// streamed are credited to the rows-streamed series (the read-path
+    /// analogue of how [`ThreadRecorder::record_batch`] credits kvps).
+    #[inline]
+    pub fn record_scan(&mut self, t_nanos: u64, latency_nanos: u64, rows: u64) {
+        self.hists[OpClass::Scan.index()].record(latency_nanos);
+        self.scan_rows_series.add(t_nanos, rows);
+    }
+
     /// Records the end-to-end latency of an operation that failed even
     /// after retrying.
     #[inline]
@@ -165,6 +183,7 @@ impl ThreadRecorder {
         }
         self.ingest_series.merge(&other.ingest_series);
         self.query_series.merge(&other.query_series);
+        self.scan_rows_series.merge(&other.scan_rows_series);
     }
 
     /// Snapshot of this recorder alone, labelled with `phase`.
@@ -175,10 +194,12 @@ impl ThreadRecorder {
             ingest: self.hists[OpClass::Ingest.index()].summary(),
             batch: self.hists[OpClass::Batch.index()].summary(),
             query: self.hists[OpClass::Query.index()].summary(),
+            scan: self.hists[OpClass::Scan.index()].summary(),
             retry: self.hists[OpClass::Retry.index()].summary(),
             failed: self.hists[OpClass::Failed.index()].summary(),
             ingest_windows: self.ingest_series.buckets().to_vec(),
             query_windows: self.query_series.buckets().to_vec(),
+            scan_rows_windows: self.scan_rows_series.buckets().to_vec(),
         }
     }
 }
@@ -234,12 +255,16 @@ pub struct PhaseSnapshot {
     /// Batched ingest flush latencies (one sample per batch).
     pub batch: Summary,
     pub query: Summary,
+    /// Streaming range-scan latencies (one sample per scanned query).
+    pub scan: Summary,
     pub retry: Summary,
     pub failed: Summary,
     /// Successful ingest ops per window (index 0 = first window).
     pub ingest_windows: Vec<u64>,
     /// Successful queries per window.
     pub query_windows: Vec<u64>,
+    /// Readings streamed by scans per window.
+    pub scan_rows_windows: Vec<u64>,
 }
 
 impl PhaseSnapshot {
@@ -250,10 +275,12 @@ impl PhaseSnapshot {
             ingest: Summary::default(),
             batch: Summary::default(),
             query: Summary::default(),
+            scan: Summary::default(),
             retry: Summary::default(),
             failed: Summary::default(),
             ingest_windows: Vec::new(),
             query_windows: Vec::new(),
+            scan_rows_windows: Vec::new(),
         }
     }
 }
@@ -400,6 +427,8 @@ pub struct ClusterCounters {
     /// Acknowledged `put_batch` calls.
     pub put_batches: u64,
     pub replica_writes: u64,
+    /// Rows yielded through streaming scans.
+    pub rows_streamed: u64,
     pub regions: u64,
     pub node_writes: Vec<u64>,
     pub node_reads: Vec<u64>,
@@ -408,6 +437,10 @@ pub struct ClusterCounters {
     pub hinted_writes: u64,
     pub replayed_hints: u64,
     pub unavailable_errors: u64,
+    /// Transient faults absorbed inside streaming scans.
+    pub scan_retries: u64,
+    /// Mid-stream scan failovers (resumed on another replica).
+    pub scan_resumes: u64,
 }
 
 impl From<&gateway::ClusterStats> for ClusterCounters {
@@ -419,6 +452,7 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
             batched_puts: s.batched_puts,
             put_batches: s.put_batches,
             replica_writes: s.replica_writes,
+            rows_streamed: s.rows_streamed,
             regions: s.regions as u64,
             node_writes: s.node_writes.clone(),
             node_reads: s.node_reads.clone(),
@@ -427,6 +461,8 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
             hinted_writes: s.resilience.hinted_writes,
             replayed_hints: s.resilience.replayed_hints,
             unavailable_errors: s.resilience.unavailable_errors,
+            scan_retries: s.resilience.scan_retries,
+            scan_resumes: s.resilience.scan_resumes,
         }
     }
 }
@@ -449,6 +485,7 @@ impl ClusterCounters {
         self.batched_puts += other.batched_puts;
         self.put_batches += other.put_batches;
         self.replica_writes += other.replica_writes;
+        self.rows_streamed += other.rows_streamed;
         self.regions = self.regions.max(other.regions);
         if other.node_writes.len() > self.node_writes.len() {
             self.node_writes.resize(other.node_writes.len(), 0);
@@ -467,6 +504,8 @@ impl ClusterCounters {
         self.hinted_writes += other.hinted_writes;
         self.replayed_hints += other.replayed_hints;
         self.unavailable_errors += other.unavailable_errors;
+        self.scan_retries += other.scan_retries;
+        self.scan_resumes += other.scan_resumes;
     }
 }
 
@@ -537,6 +576,7 @@ impl MetricsRegistry {
                 ("ingest", &p.snapshot.ingest),
                 ("batch", &p.snapshot.batch),
                 ("query", &p.snapshot.query),
+                ("scan", &p.snapshot.scan),
                 ("retry", &p.snapshot.retry),
                 ("failed", &p.snapshot.failed),
             ] {
@@ -558,6 +598,8 @@ impl MetricsRegistry {
             json_u64_array(&mut out, &p.snapshot.ingest_windows);
             out.push_str(", \"query_windows\": ");
             json_u64_array(&mut out, &p.snapshot.query_windows);
+            out.push_str(", \"scan_rows_windows\": ");
+            json_u64_array(&mut out, &p.snapshot.scan_rows_windows);
             let _ = write!(out, ", \"sustained_ok\": {}", p.violations.is_empty());
             out.push_str(", \"violations\": [");
             for (j, v) in p.violations.iter().enumerate() {
@@ -602,7 +644,7 @@ impl MetricsRegistry {
                     out,
                     "{{\"puts\": {}, \"gets\": {}, \"scans\": {}, \"batched_puts\": {}, \
                      \"put_batches\": {}, \"batch_fill\": {}, \"replica_writes\": {}, \
-                     \"regions\": {}, \"node_writes\": ",
+                     \"rows_streamed\": {}, \"regions\": {}, \"node_writes\": ",
                     c.puts,
                     c.gets,
                     c.scans,
@@ -610,6 +652,7 @@ impl MetricsRegistry {
                     c.put_batches,
                     json_f64(c.batch_fill()),
                     c.replica_writes,
+                    c.rows_streamed,
                     c.regions
                 );
                 json_u64_array(&mut out, &c.node_writes);
@@ -619,12 +662,15 @@ impl MetricsRegistry {
                     out,
                     ", \"failover_reads\": {}, \"under_replicated_writes\": {}, \
                      \"hinted_writes\": {}, \"replayed_hints\": {}, \
-                     \"unavailable_errors\": {}}}",
+                     \"unavailable_errors\": {}, \"scan_retries\": {}, \
+                     \"scan_resumes\": {}}}",
                     c.failover_reads,
                     c.under_replicated_writes,
                     c.hinted_writes,
                     c.replayed_hints,
                     c.unavailable_errors,
+                    c.scan_retries,
+                    c.scan_resumes,
                 );
             }
         }
@@ -651,6 +697,7 @@ impl MetricsRegistry {
                 ("ingest", &p.snapshot.ingest),
                 ("batch", &p.snapshot.batch),
                 ("query", &p.snapshot.query),
+                ("scan", &p.snapshot.scan),
                 ("retry", &p.snapshot.retry),
                 ("failed", &p.snapshot.failed),
             ] {
@@ -678,6 +725,7 @@ impl MetricsRegistry {
             for (series, windows) in [
                 ("ingest", &p.snapshot.ingest_windows),
                 ("query", &p.snapshot.query_windows),
+                ("scan_rows", &p.snapshot.scan_rows_windows),
             ] {
                 for (w, ops) in windows.iter().enumerate() {
                     let _ = writeln!(
@@ -722,12 +770,15 @@ impl MetricsRegistry {
                 ("batched_puts", c.batched_puts),
                 ("put_batches", c.put_batches),
                 ("replica_writes", c.replica_writes),
+                ("rows_streamed", c.rows_streamed),
                 ("regions", c.regions),
                 ("failover_reads", c.failover_reads),
                 ("under_replicated_writes", c.under_replicated_writes),
                 ("hinted_writes", c.hinted_writes),
                 ("replayed_hints", c.replayed_hints),
                 ("unavailable_errors", c.unavailable_errors),
+                ("scan_retries", c.scan_retries),
+                ("scan_resumes", c.scan_resumes),
             ] {
                 let _ = writeln!(out, "tpcx_iot_cluster{{counter=\"{name}\"}} {v}");
             }
@@ -977,6 +1028,7 @@ mod tests {
             rec.record_ingest(i * 20_000_000, 1_000 + i * 17, i % 10);
         }
         rec.record_query(500_000_000, 80_000, 0);
+        rec.record_scan(500_000_000, 90_000, 42);
         rec.record_failed(2_000_000);
         telemetry.absorb(&rec);
         let mut registry = MetricsRegistry::new();
@@ -1045,6 +1097,18 @@ mod tests {
     }
 
     #[test]
+    fn record_scan_credits_rows_to_scan_windows() {
+        let mut rec = ThreadRecorder::new(DEFAULT_WINDOW_NANOS);
+        rec.record_scan(100, 5_000, 120);
+        rec.record_scan(200, 7_000, 30);
+        rec.record_scan(1_500_000_000, 6_000, 80);
+        let snap = rec.snapshot(Phase::Measured);
+        assert_eq!(snap.scan.count, 3, "one sample per scanned query");
+        assert_eq!(snap.query.count, 0, "scan samples stay out of query");
+        assert_eq!(snap.scan_rows_windows, vec![150, 80], "windows count rows");
+    }
+
+    #[test]
     fn batch_fill_is_mean_kvps_per_batch() {
         let mut c = ClusterCounters {
             batched_puts: 48,
@@ -1093,6 +1157,8 @@ mod tests {
         assert_eq!(a, b);
         validate_json(&a).expect("export parses");
         assert!(a.contains("\"ingest_windows\""));
+        assert!(a.contains("\"scan_rows_windows\": [42]"));
+        assert!(a.contains("\"scan_retries\": 0"));
         assert!(a.contains("\"p999\""));
         assert!(a.contains("\"wal_syncs\": 7"));
         assert!(a.contains("\"verdict\": \"VALID\""));

@@ -90,6 +90,12 @@ pub struct ResilienceStats {
     pub replayed_hints: u64,
     /// Operations that failed with [`GatewayError::Unavailable`].
     pub unavailable_errors: u64,
+    /// Transient faults absorbed inside a streaming scan (the cursor
+    /// re-judged the node instead of failing the whole scan).
+    pub scan_retries: u64,
+    /// Streaming scans that lost their node mid-stream and resumed on
+    /// another replica from the last yielded key.
+    pub scan_resumes: u64,
 }
 
 /// Point-in-time cluster statistics.
@@ -107,6 +113,9 @@ pub struct ClusterStats {
     /// Physical replica writes performed (puts × effective replication
     /// when every replica is up).
     pub replica_writes: u64,
+    /// Rows yielded by streaming scans (all scans go through
+    /// [`Cluster::scan_stream`]).
+    pub rows_streamed: u64,
     pub regions: usize,
     /// Primary-write load per node.
     pub node_writes: Vec<u64>,
@@ -140,11 +149,14 @@ pub struct Cluster {
     batched_puts: AtomicU64,
     put_batches: AtomicU64,
     replica_writes: AtomicU64,
+    rows_streamed: AtomicU64,
     failover_reads: AtomicU64,
     under_replicated_writes: AtomicU64,
     hinted_writes: AtomicU64,
     replayed_hints: AtomicU64,
     unavailable_errors: AtomicU64,
+    scan_retries: AtomicU64,
+    scan_resumes: AtomicU64,
 }
 
 impl Cluster {
@@ -190,11 +202,14 @@ impl Cluster {
             batched_puts: AtomicU64::new(0),
             put_batches: AtomicU64::new(0),
             replica_writes: AtomicU64::new(0),
+            rows_streamed: AtomicU64::new(0),
             failover_reads: AtomicU64::new(0),
             under_replicated_writes: AtomicU64::new(0),
             hinted_writes: AtomicU64::new(0),
             replayed_hints: AtomicU64::new(0),
             unavailable_errors: AtomicU64::new(0),
+            scan_retries: AtomicU64::new(0),
+            scan_resumes: AtomicU64::new(0),
         })
     }
 
@@ -455,13 +470,44 @@ impl Cluster {
     }
 
     /// Ordered scan of `[start, end)` across all covering regions, up to
-    /// `limit` rows.
+    /// `limit` rows. A thin materializing wrapper over
+    /// [`Cluster::scan_stream`] kept for point-lookup-style callers.
     pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Bytes, Bytes)>> {
         if start >= end || limit == 0 {
             return Ok(Vec::new());
         }
+        let mut rows = Vec::new();
+        for item in self.scan_stream(start, end) {
+            if rows.len() >= limit {
+                break;
+            }
+            rows.push(item?);
+        }
+        Ok(rows)
+    }
+
+    /// Pull-based streaming scan of `[start, end)` chaining every
+    /// covering region in key order.
+    ///
+    /// Per-region read routing matches [`Cluster::get`]: primary first,
+    /// then the first live replica (a failover). Two things the
+    /// materializing path never did:
+    ///
+    /// * a *transient* verdict while opening a region cursor is re-judged
+    ///   up to [`ClusterScan::OPEN_RETRY_ATTEMPTS`] times (counted in
+    ///   `scan_retries`) instead of failing the whole scan, and
+    /// * every [`ClusterScan::LIVENESS_REFRESH_ROWS`] rows the fault
+    ///   clock is consulted again; if the serving node died mid-stream
+    ///   the scan *resumes* on another live replica from the successor
+    ///   of the last yielded key (counted in `scan_resumes`, and in
+    ///   `failover_reads` when the new node is not the primary).
+    ///
+    /// The scan fails only when a region has no live replica at all.
+    pub fn scan_stream(&self, start: &[u8], end: &[u8]) -> ClusterScan<'_> {
         self.scans.fetch_add(1, Ordering::Relaxed);
-        let targets: Vec<(usize, Vec<usize>, Bytes, Bytes)> = {
+        let targets: Vec<ScanTarget> = if start >= end {
+            Vec::new()
+        } else {
             let map = self.regions.read();
             map.covering(start, end)
                 .into_iter()
@@ -476,22 +522,22 @@ impl Cluster {
                     } else {
                         Bytes::copy_from_slice(end)
                     };
-                    (r.primary, r.replicas.clone(), lo, hi)
+                    ScanTarget {
+                        primary: r.primary,
+                        replicas: r.replicas.clone(),
+                        lo,
+                        hi,
+                    }
                 })
                 .collect()
         };
-        let now = self.fault_tick();
-        let mut rows = Vec::new();
-        for (primary, replicas, lo, hi) in targets {
-            if rows.len() >= limit {
-                break;
-            }
-            let node = self.pick_read_node(primary, &replicas, &lo, now)?;
-            self.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
-            let mut part = self.nodes[node].db.scan(&lo, &hi, limit - rows.len())?;
-            rows.append(&mut part);
+        ClusterScan {
+            cluster: self,
+            targets: targets.into_iter(),
+            cursor: None,
+            rows_streamed: 0,
+            done: false,
         }
-        Ok(rows)
     }
 
     /// Deletes `key` from every replica.
@@ -555,11 +601,14 @@ impl Cluster {
         self.batched_puts.store(0, Ordering::Relaxed);
         self.put_batches.store(0, Ordering::Relaxed);
         self.replica_writes.store(0, Ordering::Relaxed);
+        self.rows_streamed.store(0, Ordering::Relaxed);
         self.failover_reads.store(0, Ordering::Relaxed);
         self.under_replicated_writes.store(0, Ordering::Relaxed);
         self.hinted_writes.store(0, Ordering::Relaxed);
         self.replayed_hints.store(0, Ordering::Relaxed);
         self.unavailable_errors.store(0, Ordering::Relaxed);
+        self.scan_retries.store(0, Ordering::Relaxed);
+        self.scan_resumes.store(0, Ordering::Relaxed);
         // Restart the fault plan too: each iteration faces the same
         // schedule, so warm-up and measured runs degrade identically.
         self.fault = self
@@ -583,6 +632,8 @@ impl Cluster {
             hinted_writes: self.hinted_writes.load(Ordering::Relaxed),
             replayed_hints: self.replayed_hints.load(Ordering::Relaxed),
             unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
+            scan_retries: self.scan_retries.load(Ordering::Relaxed),
+            scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
         }
     }
 
@@ -594,6 +645,7 @@ impl Cluster {
             batched_puts: self.batched_puts.load(Ordering::Relaxed),
             put_batches: self.put_batches.load(Ordering::Relaxed),
             replica_writes: self.replica_writes.load(Ordering::Relaxed),
+            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
             regions: self.regions.read().len(),
             node_writes: self
                 .nodes
@@ -618,6 +670,187 @@ impl Cluster {
                 engine
             },
         }
+    }
+}
+
+/// One region's slice of a streaming scan.
+struct ScanTarget {
+    primary: usize,
+    replicas: Vec<usize>,
+    lo: Bytes,
+    hi: Bytes,
+}
+
+/// An open cursor into one region's serving node.
+struct ScanCursor {
+    target: ScanTarget,
+    node: usize,
+    iter: iotkv::ScanIter,
+    /// Last key yielded from this region — the resume point after a
+    /// mid-stream failover (the scan restarts at its strict successor).
+    last_key: Option<Bytes>,
+    rows_since_check: u64,
+}
+
+/// A streaming cluster scan, created by [`Cluster::scan_stream`]. See
+/// there for the routing, retry, and mid-stream failover semantics.
+pub struct ClusterScan<'c> {
+    cluster: &'c Cluster,
+    targets: std::vec::IntoIter<ScanTarget>,
+    cursor: Option<ScanCursor>,
+    rows_streamed: u64,
+    done: bool,
+}
+
+impl ClusterScan<'_> {
+    /// How many times a *transient* verdict is re-judged while opening a
+    /// region cursor before the scan gives up. Transient bursts are
+    /// finite per (node, key), so re-judging makes progress.
+    pub const OPEN_RETRY_ATTEMPTS: u32 = 4;
+    /// Rows streamed from one node between fault-clock liveness checks.
+    /// Models scan duration: a node that crashes while a long scan is in
+    /// flight is noticed mid-stream, not only at the next scan.
+    pub const LIVENESS_REFRESH_ROWS: u64 = 128;
+
+    /// Routes one region cursor open (or resume): primary first, then
+    /// live replicas, absorbing transient verdicts with bounded retries.
+    fn open_cursor(&self, target: ScanTarget, from: &[u8], resume: bool) -> Result<ScanCursor> {
+        let cluster = self.cluster;
+        let node = 'pick: {
+            let Some(fault) = &cluster.fault else {
+                break 'pick target.primary;
+            };
+            let now = cluster.fault_tick();
+            for node in std::iter::once(target.primary).chain(
+                target
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != target.primary),
+            ) {
+                cluster.maybe_replay_hints(node, now);
+                if fault.node_down(node, now) {
+                    continue;
+                }
+                let mut attempt = 0;
+                loop {
+                    match fault.judge(node, from, now) {
+                        FaultVerdict::Ok => break 'pick node,
+                        FaultVerdict::NodeDown => break, // next candidate
+                        FaultVerdict::Transient => {
+                            attempt += 1;
+                            if attempt >= Self::OPEN_RETRY_ATTEMPTS {
+                                return Err(
+                                    cluster.unavailable(format!("transient fault on node {node}"))
+                                );
+                            }
+                            cluster.scan_retries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            return Err(cluster.unavailable("no live replica for scan"));
+        };
+        if node != target.primary {
+            cluster.failover_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if resume {
+            cluster.scan_resumes.fetch_add(1, Ordering::Relaxed);
+        }
+        cluster.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
+        let iter = cluster.nodes[node].db.scan_iter(from, &target.hi);
+        Ok(ScanCursor {
+            target,
+            node,
+            iter,
+            last_key: None,
+            rows_since_check: 0,
+        })
+    }
+
+    /// Reopens the active cursor on another live node, continuing from
+    /// the strict successor of the last yielded key.
+    fn resume_cursor(&mut self) -> Result<()> {
+        let cursor = self.cursor.take().expect("resume needs a cursor");
+        let from = match &cursor.last_key {
+            // `key ++ 0x00` is the smallest key strictly after `key`.
+            Some(key) => {
+                let mut succ = Vec::with_capacity(key.len() + 1);
+                succ.extend_from_slice(key);
+                succ.push(0);
+                Bytes::from(succ)
+            }
+            None => cursor.target.lo.clone(),
+        };
+        let last_key = cursor.last_key.clone();
+        let mut reopened = self.open_cursor(cursor.target, &from, true)?;
+        reopened.last_key = last_key;
+        self.cursor = Some(reopened);
+        Ok(())
+    }
+}
+
+impl Iterator for ClusterScan<'_> {
+    type Item = Result<(Bytes, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.cursor.is_none() {
+                let target = self.targets.next()?;
+                let lo = target.lo.clone();
+                match self.open_cursor(target, &lo, false) {
+                    Ok(cursor) => self.cursor = Some(cursor),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let cursor = self.cursor.as_mut().expect("cursor just ensured");
+            if self.cluster.fault.is_some()
+                && cursor.rows_since_check >= Self::LIVENESS_REFRESH_ROWS
+            {
+                cursor.rows_since_check = 0;
+                let now = self.cluster.fault_tick();
+                if self.cluster.node_down(cursor.node, now) {
+                    // The serving node died mid-stream: fail over.
+                    if let Err(e) = self.resume_cursor() {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    continue;
+                }
+            }
+            match cursor.iter.next() {
+                Some(Ok((key, value))) => {
+                    cursor.last_key = Some(key.clone());
+                    cursor.rows_since_check += 1;
+                    self.rows_streamed += 1;
+                    return Some(Ok((key, value)));
+                }
+                Some(Err(e)) => {
+                    // Storage error mid-region: treat the node as lost
+                    // and resume elsewhere; surface only if that fails.
+                    let _ = e;
+                    if let Err(e) = self.resume_cursor() {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+                None => self.cursor = None, // region exhausted
+            }
+        }
+    }
+}
+
+impl Drop for ClusterScan<'_> {
+    fn drop(&mut self) {
+        self.cluster
+            .rows_streamed
+            .fetch_add(self.rows_streamed, Ordering::Relaxed);
     }
 }
 
@@ -823,6 +1056,64 @@ mod tests {
         let r = c.resilience();
         assert_eq!(r.unavailable_errors, 3);
         assert_eq!(c.stats().puts, 0, "nothing was acknowledged");
+        destroy(c);
+    }
+
+    #[test]
+    fn scan_stream_resumes_after_mid_scan_crash() {
+        use crate::fault::FaultPlan;
+        // 300 puts consume fault ops 0..300; the scan then ticks op 300
+        // at cursor open and op 301 at the first liveness refresh (after
+        // LIVENESS_REFRESH_ROWS rows). Crashing node 0 (the primary) at
+        // op 301 forces a mid-stream failover to a replica.
+        let mut config = ClusterConfig::new(tmpdir("midscan"), 3);
+        config.storage = Options::small();
+        config.fault_plan = Some(FaultPlan::quiet(21).with_crash(0, 301, None));
+        let c = Cluster::start(config).unwrap();
+        assert_eq!(c.stats().regions, 1, "single region, primary = node 0");
+        for i in 0..300 {
+            c.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let rows = c
+            .scan_stream(b"k", b"l")
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows.len(), 300, "no row lost or duplicated by the resume");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "order preserved");
+        let r = c.resilience();
+        assert_eq!(r.scan_resumes, 1);
+        assert!(r.failover_reads >= 1, "resumed on a non-primary replica");
+        assert_eq!(r.unavailable_errors, 0);
+        assert_eq!(c.stats().rows_streamed, 300);
+        destroy(c);
+    }
+
+    #[test]
+    fn scan_stream_absorbs_transient_faults_at_open() {
+        use crate::fault::FaultPlan;
+        let mut config = ClusterConfig::new(tmpdir("scantransient"), 3);
+        config.storage = Options::small();
+        config.fault_plan = Some(FaultPlan::quiet(13).with_transient(0.9, 2));
+        let c = Cluster::start(config).unwrap();
+        for i in 0..20 {
+            let key = format!("k{i:02}");
+            while c.put(key.as_bytes(), b"v").is_err() {}
+        }
+        // The retry-until-acked put loop above surfaced its own transient
+        // errors; only the scans below must not add any.
+        let unavailable_before = c.resilience().unavailable_errors;
+        // Cursor opens are judged on the start key; a 90% plan injects a
+        // burst on nearly every one. Bursts (≤ 2) are shorter than
+        // OPEN_RETRY_ATTEMPTS, so every scan succeeds without surfacing
+        // a transient error — unlike the old all-or-nothing path.
+        for i in 0..20 {
+            let start = format!("k{i:02}");
+            let rows = c.scan(start.as_bytes(), b"l", usize::MAX).unwrap();
+            assert_eq!(rows.len(), 20 - i);
+        }
+        assert!(c.resilience().scan_retries > 0, "bursts were absorbed");
+        assert_eq!(c.resilience().unavailable_errors, unavailable_before);
         destroy(c);
     }
 

@@ -202,6 +202,44 @@ impl KvStore for GatewayKvStore {
             })
             .collect()
     }
+
+    fn scan_visit(
+        &self,
+        table: &str,
+        start_key: &str,
+        count: usize,
+        fields: Option<&[String]>,
+        visit: &mut dyn FnMut(&str, FieldMap) -> bool,
+    ) -> StoreResult<u64> {
+        let lo = Self::storage_key(table, start_key);
+        let mut hi = escape_table(table);
+        let prefix_len = hi.len() + 1;
+        hi.push(b'/' + 1); // first key after the table's prefix space
+        let mut visited = 0u64;
+        let mut decode_err = None;
+        for item in self.cluster.scan_stream(&lo, &hi) {
+            if visited >= count as u64 {
+                break;
+            }
+            let (k, v) = item.map_err(backend)?;
+            let Ok(key) = std::str::from_utf8(&k[prefix_len..]) else {
+                decode_err = Some(StoreError::Backend("non-utf8 key".into()));
+                break;
+            };
+            let Some(row) = decode_fields(&v) else {
+                decode_err = Some(StoreError::Backend("undecodable row".into()));
+                break;
+            };
+            visited += 1;
+            if !visit(key, project(row, fields)) {
+                break;
+            }
+        }
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(visited),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +348,38 @@ mod tests {
         // Escape characters themselves survive the round trip.
         s.insert("p%s", "k", &row(&[("f", "pct")])).unwrap();
         assert_eq!(s.read("p%s", "k", None).unwrap(), row(&[("f", "pct")]));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_visit_streams_without_materializing() {
+        let (s, dir) = store("visit");
+        for i in 0..10 {
+            s.insert("t1", &format!("k{i}"), &row(&[("f", "v")]))
+                .unwrap();
+        }
+        s.insert("t2", "k0", &row(&[("f", "other-table")])).unwrap();
+
+        let mut keys = Vec::new();
+        let visited = s
+            .scan_visit("t1", "k3", 4, None, &mut |k, r| {
+                keys.push(k.to_string());
+                assert_eq!(r, row(&[("f", "v")]));
+                true
+            })
+            .unwrap();
+        assert_eq!(visited, 4);
+        assert_eq!(keys, vec!["k3", "k4", "k5", "k6"]);
+
+        // Streaming must honor the table boundary and the early stop.
+        let visited = s
+            .scan_visit("t1", "k8", 100, None, &mut |_, _| true)
+            .unwrap();
+        assert_eq!(visited, 2, "scan past end of t1 must not leak into t2");
+        let visited = s
+            .scan_visit("t1", "k0", 100, None, &mut |_, _| false)
+            .unwrap();
+        assert_eq!(visited, 1, "visitor stopped the stream");
         std::fs::remove_dir_all(dir).ok();
     }
 

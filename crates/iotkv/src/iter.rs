@@ -142,6 +142,12 @@ impl<I: Iterator<Item = (InternalKey, Bytes)>> VisibleIter<I> {
             last_user_key: None,
         }
     }
+
+    /// The wrapped multi-version stream, e.g. to surface a deferred I/O
+    /// error from a [`MergeIterator`] after iteration ends.
+    pub fn inner_mut(&mut self) -> &mut I {
+        &mut self.inner
+    }
 }
 
 impl<I: Iterator<Item = (InternalKey, Bytes)>> Iterator for VisibleIter<I> {

@@ -61,7 +61,7 @@ pub mod version;
 pub mod wal;
 
 pub use batch::WriteBatch;
-pub use db::{Db, DbStats};
+pub use db::{Db, DbStats, ScanIter};
 pub use error::{Error, Result};
 pub use options::{CompactionStyle, Options, SyncMode};
 

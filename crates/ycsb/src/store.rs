@@ -70,6 +70,31 @@ pub trait KvStore: Send + Sync {
         count: usize,
         fields: Option<&[String]>,
     ) -> StoreResult<Vec<(String, FieldMap)>>;
+
+    /// Streams up to `count` records starting at `start_key` (inclusive)
+    /// into `visit` in key order; `visit` returns `false` to stop early.
+    /// Returns the number of records visited.
+    ///
+    /// The default materializes via [`KvStore::scan`]; stores backed by a
+    /// streaming scan override it so the result set is never collected.
+    fn scan_visit(
+        &self,
+        table: &str,
+        start_key: &str,
+        count: usize,
+        fields: Option<&[String]>,
+        visit: &mut dyn FnMut(&str, FieldMap) -> bool,
+    ) -> StoreResult<u64> {
+        let rows = self.scan(table, start_key, count, fields)?;
+        let mut visited = 0u64;
+        for (key, row) in rows {
+            visited += 1;
+            if !visit(&key, row) {
+                break;
+            }
+        }
+        Ok(visited)
+    }
 }
 
 /// An in-memory reference store used by tests and as the "/dev/null"-style
@@ -241,6 +266,28 @@ mod tests {
         let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, vec!["user2", "user3", "user4"]);
         assert!(s.scan("missing", "a", 5, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_visit_streams_and_stops_early() {
+        let s = MemoryStore::new();
+        for i in 1..=5 {
+            s.insert("t", &format!("user{i}"), &row(&[("f", "v")]))
+                .unwrap();
+        }
+        let mut keys = Vec::new();
+        let visited = s
+            .scan_visit("t", "user2", 3, None, &mut |k, _| {
+                keys.push(k.to_string());
+                true
+            })
+            .unwrap();
+        assert_eq!(visited, 3);
+        assert_eq!(keys, vec!["user2", "user3", "user4"]);
+        let visited = s
+            .scan_visit("t", "user1", 5, None, &mut |_, _| false)
+            .unwrap();
+        assert_eq!(visited, 1, "visitor stopped the stream");
     }
 
     #[test]

@@ -286,7 +286,11 @@ impl CoreWorkload {
             OpKind::Scan => {
                 let key = self.build_key(self.next_keynum(rng));
                 let len = self.scan_length.lock().next_value(rng) as usize;
-                store.scan(&self.config.table, &key, len, None).is_ok()
+                // Stream the scan: YCSB only iterates the result set, so
+                // there is no reason to materialize it first.
+                store
+                    .scan_visit(&self.config.table, &key, len, None, &mut |_, _| true)
+                    .is_ok()
             }
             OpKind::ReadModifyWrite => {
                 let key = self.build_key(self.next_keynum(rng));

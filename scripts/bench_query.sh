@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Streamed-vs-materialized query-scan evidence: runs the bench_query bin
+# and writes BENCH_query.json (queries/s and rows/s for both read paths
+# under concurrent ingest).
+#
+#   ./scripts/bench_query.sh           # full run, artifact at repo root
+#   ./scripts/bench_query.sh 100       # smoke scale (used by ci.sh)
+#
+# Override the artifact path with BENCH_QUERY_OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-20}"
+export BENCH_QUERY_OUT="${BENCH_QUERY_OUT:-BENCH_query.json}"
+
+cargo run --release -q -p bench --bin bench_query -- "$SCALE"

@@ -41,6 +41,10 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== batched ingest (smoke) =="
     BENCH_INGEST_OUT="$ARTIFACT_DIR/BENCH_ingest.json" \
         ./scripts/bench_ingest.sh 100
+
+    echo "== query scans (smoke) =="
+    BENCH_QUERY_OUT="$ARTIFACT_DIR/BENCH_query.json" \
+        ./scripts/bench_query.sh 100
 fi
 
 echo "CI gate passed."

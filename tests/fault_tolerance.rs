@@ -167,6 +167,70 @@ fn seeded_fault_plan_reproduces_identical_counters() {
     assert!(a.1 > 0, "a 30% transient plan must force retries");
 }
 
+/// The streaming read path's acceptance scenario: the region primary
+/// crashes while a query scan is mid-stream. The scan must fail over to
+/// a live replica, resume from the last yielded key, and the query must
+/// still return the exact aggregates — with the failover disclosed in
+/// the resilience counters.
+#[test]
+fn primary_crash_mid_scan_preserves_query_aggregates() {
+    use tpcx_iot::keys::{encode_reading, SensorReading};
+    use tpcx_iot::query::{execute, QueryKind, QuerySpec, WINDOW_MS};
+
+    let dir = tmpdir("mid-scan");
+    let mut config = gateway::ClusterConfig::new(&dir, 3);
+    config.storage = small_options();
+    // 200 puts are fault ops 0..200; the scan's cursor open ticks op 200
+    // and its liveness refresh (every 128 streamed rows) ticks op 201 —
+    // exactly when node 0, the region primary, goes down for good.
+    config.fault_plan = Some(gateway::FaultPlan::quiet(5).with_crash(0, 201, None));
+    let cluster = Arc::new(gateway::Cluster::start(config).unwrap());
+    let backend: Arc<dyn tpcx_iot::GatewayBackend> = Arc::clone(&cluster) as _;
+
+    let now = 2_000_000u64;
+    for i in 0..200u64 {
+        let r = SensorReading {
+            substation: "PSS-000000".into(),
+            sensor: "pmu-000".into(),
+            timestamp_ms: now - WINDOW_MS + i * 25,
+            value: format!("{}", 100 + i),
+            unit: "volts".into(),
+        };
+        let (k, v) = encode_reading(&r);
+        backend.insert(&k, &v).unwrap();
+    }
+
+    let spec = QuerySpec {
+        kind: QueryKind::AverageReading,
+        substation: "PSS-000000".into(),
+        sensor: "pmu-000".into(),
+        current_from_ms: now - WINDOW_MS,
+        current_to_ms: now,
+        past_from_ms: 100,
+        past_to_ms: 100 + WINDOW_MS,
+    };
+    let out = execute(backend.as_ref(), &spec).expect("query survives the crash");
+
+    // Exact aggregates despite the mid-stream failover: values are
+    // 100..=299, so AVG = 199.5 over all 200 rows.
+    assert_eq!(out.current.rows, 200);
+    assert_eq!(out.current.value, Some(199.5));
+    assert_eq!(out.past.rows, 0, "historical window predates all data");
+    assert_eq!(out.rows_read, 200);
+
+    let r = cluster.resilience();
+    assert_eq!(r.scan_resumes, 1, "exactly one mid-stream failover");
+    assert_eq!(r.unavailable_errors, 0, "two replicas stayed up");
+    let stats = cluster.stats();
+    assert!(
+        stats.resilience.failover_reads >= 1,
+        "the resumed cursor reads from a non-primary: {stats:?}"
+    );
+    assert_eq!(stats.rows_streamed, 200, "every row streamed exactly once");
+    drop(cluster);
+    std::fs::remove_dir_all(dir).ok();
+}
+
 /// A batch is one WAL record, so a crash that tears the log mid-record
 /// must drop the whole batch and keep every earlier batch intact — no
 /// partially-applied multi-op batch may survive recovery.

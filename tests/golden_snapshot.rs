@@ -94,6 +94,13 @@ fn synthetic_registry() -> MetricsRegistry {
             }
             if i % 400 == 0 {
                 rec.record_query(t, 300_000 + rng.next_u64() % 900_000, 0);
+                // Every query streams its windows; the scan class records
+                // the fold latency and the rows-streamed credit.
+                rec.record_scan(
+                    t,
+                    250_000 + rng.next_u64() % 750_000,
+                    30 + rng.next_u64() % 170,
+                );
             }
             if i % 999 == 0 {
                 rec.record_failed(2_500_000 + rng.next_u64() % 500_000);
@@ -127,6 +134,7 @@ fn synthetic_registry() -> MetricsRegistry {
         batched_puts: 4_096,
         put_batches: 256,
         replica_writes: 16_770,
+        rows_streamed: 2_512,
         regions: 6,
         node_writes: vec![1_900, 1_845, 1_845],
         node_reads: vec![16, 0, 0],
@@ -135,6 +143,8 @@ fn synthetic_registry() -> MetricsRegistry {
         hinted_writes: 37,
         replayed_hints: 37,
         unavailable_errors: 0,
+        scan_retries: 2,
+        scan_resumes: 1,
     });
     registry.verdict = "INVALID".into();
     registry

@@ -284,6 +284,116 @@ mod telemetry_props {
     }
 }
 
+mod query_props {
+    use super::*;
+    use tpcx_iot::backend::{GatewayBackend, MemBackend};
+    use tpcx_iot::query::{execute, IntervalAggregate, QueryKind, QuerySpec, WINDOW_MS};
+
+    /// Materialized reference implementation: collect the whole window
+    /// into a `Vec` via the non-streaming `scan`, decode with the full
+    /// [`decode_reading`] codec, then aggregate. This is exactly what
+    /// `query::execute` did before the streaming refactor.
+    fn materialized_interval(
+        b: &MemBackend,
+        kind: QueryKind,
+        substation: &str,
+        sensor: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> IntervalAggregate {
+        let (start, end) = sensor_time_range(substation, sensor, from_ms, to_ms);
+        let rows = b.scan(&start, &end, usize::MAX).expect("mem scan");
+        let values: Vec<f64> = rows
+            .iter()
+            .filter_map(|(k, v)| decode_reading(k, v))
+            .filter_map(|r| r.value.parse::<f64>().ok())
+            .collect();
+        let value = if values.is_empty() {
+            None
+        } else {
+            Some(match kind {
+                QueryKind::MaxReading => values.iter().cloned().fold(f64::MIN, f64::max),
+                QueryKind::MinReading => values.iter().cloned().fold(f64::MAX, f64::min),
+                QueryKind::AverageReading => values.iter().sum::<f64>() / values.len() as f64,
+                QueryKind::ReadingCount => values.len() as f64,
+            })
+        };
+        IntervalAggregate {
+            rows: values.len() as u64,
+            value,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The streamed fold (`query::execute` via `scan_fold`, zero
+        /// materialization) computes exactly the same aggregates, row
+        /// counts, and rows_read as the materialized reference on random
+        /// data and random windows — including in-range junk rows the
+        /// decoder must reject and prefix-sibling sensors the range must
+        /// exclude.
+        #[test]
+        fn streamed_fold_matches_materialized_aggregate(
+            timestamps in proptest::collection::vec(0u64..60_000u64, 0..120),
+            values in proptest::collection::vec(
+                proptest::string::string_regex("[0-9]{1,10}(\\.[0-9]{1,6})?").expect("regex"),
+                120..121,
+            ),
+            kind_idx in 0usize..4,
+            current_from in 0u64..60_000u64,
+            past_from in 0u64..60_000u64,
+        ) {
+            let b = MemBackend::new();
+            for (i, &ts) in timestamps.iter().enumerate() {
+                let r = SensorReading {
+                    substation: "PSS-000000".into(),
+                    sensor: "pmu-000".into(),
+                    timestamp_ms: ts,
+                    value: values[i].clone(),
+                    unit: "volts".into(),
+                };
+                let (k, v) = encode_reading(&r);
+                b.insert(&k, &v).unwrap();
+            }
+            // A prefix-sibling sensor the range bounds must exclude, and
+            // in-range rows the decoder must reject on both paths.
+            let (k, v) = encode_reading(&SensorReading {
+                substation: "PSS-000000".into(),
+                sensor: "pmu-0001".into(),
+                timestamp_ms: 30_000,
+                value: "999".into(),
+                unit: "volts".into(),
+            });
+            b.insert(&k, &v).unwrap();
+            b.insert(b"PSS-000000|pmu-000|0000000030001", b"not-a-reading").unwrap();
+            b.insert(b"PSS-000000|pmu-000|0000000030002", b"nan-ish|volts|pad").unwrap();
+
+            let kind = QueryKind::ALL[kind_idx];
+            let spec = QuerySpec {
+                kind,
+                substation: "PSS-000000".into(),
+                sensor: "pmu-000".into(),
+                current_from_ms: current_from,
+                current_to_ms: current_from + WINDOW_MS,
+                past_from_ms: past_from,
+                past_to_ms: past_from + WINDOW_MS,
+            };
+            let streamed = execute(&b, &spec).expect("streamed query");
+            let current = materialized_interval(
+                &b, kind, "PSS-000000", "pmu-000", current_from, current_from + WINDOW_MS,
+            );
+            let past = materialized_interval(
+                &b, kind, "PSS-000000", "pmu-000", past_from, past_from + WINDOW_MS,
+            );
+            prop_assert_eq!(streamed.current, current);
+            prop_assert_eq!(streamed.past, past);
+            prop_assert_eq!(streamed.rows_read, current.rows + past.rows);
+            prop_assert_eq!(streamed.retries, 0u64);
+        }
+    }
+}
+
 mod generator_props {
     use super::*;
     use ycsb::generator::{Generator, HotspotGenerator, UniformGenerator, ZipfianGenerator};
