@@ -1,0 +1,5 @@
+fn main() {
+    // Bench bins may panic on setup failure: exempt from the unwrap rule.
+    let arg = std::env::args().next().unwrap();
+    println!("{arg}");
+}

@@ -1,0 +1,13 @@
+pub enum OpClass {
+    Ingest,
+    Query,
+}
+
+impl OpClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Ingest => "ingest",
+            OpClass::Query => "query",
+        }
+    }
+}

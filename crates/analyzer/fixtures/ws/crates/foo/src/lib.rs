@@ -1,0 +1,46 @@
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // lint:allow(unwrap) fixture: justified suppression
+    x.unwrap()
+}
+
+pub fn count(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn counted(c: &std::sync::atomic::AtomicU64) -> u64 {
+    // ordering: Relaxed — fixture statistics counter
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn triage(kind: ErrorKind) -> &'static str {
+    match kind {
+        ErrorKind::Transient => "retry",
+        _ => "drop",
+    }
+}
+
+pub fn triage_exhaustive(kind: ErrorKind) -> &'static str {
+    match kind {
+        ErrorKind::Transient => "retry",
+        ErrorKind::Permanent => "drop",
+    }
+}
+
+pub fn not_a_violation() {
+    let s = "calling .unwrap() inside a string literal";
+    let _ = s; // and .expect( inside a comment
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap();
+        let c = std::sync::atomic::AtomicU64::new(0);
+        c.load(std::sync::atomic::Ordering::SeqCst);
+    }
+}

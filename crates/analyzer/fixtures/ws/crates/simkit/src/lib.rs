@@ -1,0 +1,9 @@
+pub fn now_nanos() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn allowed_clock() -> std::time::SystemTime {
+    // lint:allow(wall-clock) fixture: justified suppression
+    std::time::SystemTime::now()
+}

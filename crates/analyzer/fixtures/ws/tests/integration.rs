@@ -1,0 +1,5 @@
+#[test]
+fn setup_can_panic() {
+    // Integration tests are exempt from the unwrap rule.
+    std::fs::read("fixture").unwrap();
+}

@@ -1,0 +1,306 @@
+//! A comment- and string-aware line lexer for Rust source.
+//!
+//! This is deliberately *not* a parser: the lint rules only need to know,
+//! for every line, which characters are code, which are comment text, and
+//! what string literals the line carries. The lexer handles the token
+//! shapes that would otherwise produce false positives — line comments,
+//! nested block comments, (raw/byte) string literals, char literals, and
+//! the `'a` lifetime-vs-char ambiguity — and nothing more.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct LexedLine {
+    /// Code characters with string/char literal *contents* blanked out
+    /// (the delimiting quotes are kept so token boundaries survive).
+    pub code: String,
+    /// Concatenated comment text on this line (line and block comments).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line.
+    pub strings: Vec<String>,
+}
+
+/// Splits `source` into per-line code/comment/string views.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    lines: Vec<LexedLine>,
+    current: LexedLine,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Lexer {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            lines: Vec::new(),
+            current: LexedLine::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            let done = std::mem::take(&mut self.current);
+            self.lines.push(done);
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<LexedLine> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(0),
+                '\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.identifier_or_prefixed(),
+                _ => {
+                    if c != '\n' {
+                        self.current.code.push(c);
+                    }
+                    self.bump();
+                }
+            }
+        }
+        if !self.current.code.is_empty()
+            || !self.current.comment.is_empty()
+            || !self.current.strings.is_empty()
+        {
+            let done = std::mem::take(&mut self.current);
+            self.lines.push(done);
+        }
+        self.lines
+    }
+
+    /// Consumes `// ...` up to (not including) the newline.
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.current.comment.push(c);
+            self.bump();
+        }
+    }
+
+    /// Consumes a possibly nested `/* ... */`, spreading its text over the
+    /// comment field of every line it spans.
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.current.comment.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.current.comment.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if c != '\n' {
+                    self.current.comment.push(c);
+                }
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"..."` (or raw `r##"..."##` when `hashes > 0`) string
+    /// literal. The contents land in `strings` on the line the literal
+    /// starts; the code field keeps only the delimiting quotes.
+    fn string_literal(&mut self, hashes: usize) {
+        self.current.code.push('"');
+        self.bump();
+        let start_line = self.lines.len();
+        let mut content = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && hashes == 0 {
+                content.push(c);
+                self.bump();
+                if let Some(esc) = self.peek(0) {
+                    content.push(esc);
+                    self.bump();
+                }
+                continue;
+            }
+            if c == '"' && self.raw_terminator_follows(hashes) {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                self.current.code.push('"');
+                break;
+            }
+            content.push(c);
+            self.bump();
+        }
+        // A literal spanning lines is attributed to its opening line; the
+        // line may already be finalized, so write through `lines`.
+        if start_line < self.lines.len() {
+            self.lines[start_line].strings.push(content);
+        } else {
+            self.current.strings.push(content);
+        }
+    }
+
+    /// At a closing `"`: true when the required `#` run follows.
+    fn raw_terminator_follows(&self, hashes: usize) -> bool {
+        (1..=hashes).all(|k| self.peek(k) == Some('#'))
+    }
+
+    /// Disambiguates `'a'` / `b'\n'` char literals from `'a` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => self.peek(2) == Some('\''),
+            Some(_) => true,
+            None => false,
+        };
+        if !is_char {
+            // Lifetime: emit the quote and let the identifier path handle
+            // the rest as ordinary code.
+            self.current.code.push('\'');
+            self.bump();
+            return;
+        }
+        self.current.code.push('\'');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if c == '\'' {
+                self.current.code.push('\'');
+                self.bump();
+                break;
+            }
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes an identifier; `r`, `b`, and `br` immediately followed by
+    /// a string opener are literal prefixes, not identifiers.
+    fn identifier_or_prefixed(&mut self) {
+        let mut ident = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                ident.push(c);
+            } else {
+                break;
+            }
+            self.current.code.push(c);
+            self.bump();
+            // Only the prefix candidates need lookahead checks.
+            if matches!(ident.as_str(), "r" | "b" | "br") {
+                match self.peek(0) {
+                    Some('"') => {
+                        self.string_literal(0);
+                        return;
+                    }
+                    Some('#') if ident != "b" => {
+                        let mut hashes = 0;
+                        while self.peek(hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if self.peek(hashes) == Some('"') {
+                            for _ in 0..hashes {
+                                self.current.code.push('#');
+                                self.bump();
+                            }
+                            self.string_literal(hashes);
+                            return;
+                        }
+                    }
+                    Some('\'') if ident == "b" => {
+                        self.char_or_lifetime();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code_and_line_comment() {
+        let lines = lex("let x = 1; // ordering: Relaxed\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("ordering: Relaxed"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = lex("call(\"panic!(boom) // not a comment\");\n");
+        assert_eq!(lines[0].code, "call(\"\");");
+        assert!(lines[0].comment.is_empty());
+        assert_eq!(lines[0].strings, vec!["panic!(boom) // not a comment"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = lex("let s = r#\"has \"quotes\" inside\"#;\n");
+        assert_eq!(lines[0].strings, vec!["has \"quotes\" inside"]);
+        assert!(lines[0].code.contains("let s = r#"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("a /* outer /* inner */ still */ b\n");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn lifetime_is_not_a_char_literal() {
+        let lines = lex("fn f<'a>(x: &'a str) { body(x) }\n");
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(lines[0].code.contains("body(x)"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let lines = lex("let q = '\\''; let n = '\\n'; more()\n");
+        assert!(lines[0].code.contains("more()"));
+    }
+
+    #[test]
+    fn multiline_string_attributed_to_start() {
+        let lines = lex("let s = \"first\nsecond\"; after()\n");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].strings, vec!["first\nsecond"]);
+        assert!(lines[1].code.contains("after()"));
+    }
+}

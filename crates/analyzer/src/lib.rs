@@ -1,0 +1,192 @@
+//! Workspace analyzer: a dependency-free lint pass over the repo's own
+//! source tree, run in CI as `cargo run -p analyzer -- check`.
+//!
+//! The analyzer walks `crates/*/src` and the top-level `tests/` directory
+//! (fixtures under `crates/analyzer/fixtures/` are deliberately outside
+//! both) and enforces five rules:
+//!
+//! * `unwrap` — no `.unwrap()` / `.expect(` / `panic!` outside test
+//!   scopes and bench bins.
+//! * `wall-clock` — no `SystemTime::now` / `Instant::now` inside the
+//!   deterministic simulation and fault-injection code.
+//! * `ordering` — every atomic `Ordering::*` use carries a
+//!   `// ordering:` justification comment.
+//! * `metrics-sync` — `OpClass::name()` strings stay in sync with the
+//!   `op="…"` labels in the golden Prometheus snapshot.
+//! * `error-exhaustive` — no `_ =>` catch-all in matches over
+//!   `ErrorKind`.
+//!
+//! Suppress a finding with `// lint:allow(rule-name)` on the offending
+//! line or the line directly above. See `DESIGN.md` §10 for the full
+//! contracts and rationale.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::lex;
+use rules::FileView;
+
+/// One lint violation, pointing at a workspace-relative `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// Serializes the finding as a JSON object (hand-rolled: the crate is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether the `unwrap` rule covers `rel` (workspace-relative, `/`-style).
+/// Integration tests and bench bins legitimately panic on setup failure.
+pub fn unwrap_rule_applies(rel: &str) -> bool {
+    !rel.starts_with("tests/") && !rel.contains("/src/bin/")
+}
+
+/// Whether the `wall-clock` rule covers `rel`: the deterministic
+/// simulation kit, the simulated scale-out cluster, and the gateway's
+/// fault-injection plane must be replayable from a seed, so none of them
+/// may read the wall clock.
+pub fn wall_clock_rule_applies(rel: &str) -> bool {
+    rel.starts_with("crates/simkit/src/")
+        || rel.starts_with("crates/simcluster/src/")
+        || rel == "crates/gateway/src/fault.rs"
+}
+
+/// Whether the `ordering` rule covers `rel`. Test files document their
+/// orderings at the model level instead of per-site.
+pub fn ordering_rule_applies(rel: &str) -> bool {
+    !rel.starts_with("tests/")
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+/// Walks `crates/*/src/**/*.rs` and `tests/**/*.rs`; the `metrics-sync`
+/// rule additionally pairs `crates/core/src/telemetry.rs` with
+/// `tests/golden/metrics_snapshot.prom` when both exist.
+pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_sources(root)? {
+        let rel = relative_name(root, &file);
+        let source = fs::read_to_string(&file)?;
+        let lines = lex(&source);
+        let view = FileView::new(&lines);
+        if unwrap_rule_applies(&rel) {
+            rules::check_unwrap(&view, &rel, &mut findings);
+        }
+        if wall_clock_rule_applies(&rel) {
+            rules::check_wall_clock(&view, &rel, &mut findings);
+        }
+        if ordering_rule_applies(&rel) {
+            rules::check_ordering(&view, &rel, &mut findings);
+        }
+        rules::check_error_exhaustive(&view, &rel, &mut findings);
+    }
+    let telemetry_path = root.join("crates/core/src/telemetry.rs");
+    let prom_path = root.join("tests/golden/metrics_snapshot.prom");
+    if telemetry_path.is_file() && prom_path.is_file() {
+        let telemetry = lex(&fs::read_to_string(&telemetry_path)?);
+        let prom = fs::read_to_string(&prom_path)?;
+        rules::check_metrics_sync(
+            &telemetry,
+            &relative_name(root, &telemetry_path),
+            &prom,
+            &relative_name(root, &prom_path),
+            &mut findings,
+        );
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Every `.rs` file under `crates/*/src` and `tests/`, sorted for
+/// deterministic output.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let tests_dir = root.join("tests");
+    if tests_dir.is_dir() {
+        collect_rs(&tests_dir, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_name(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    // Normalize to `/` so findings are stable across platforms.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,78 @@
+//! CLI entry point: `cargo run -p analyzer -- check [--json] [--root DIR]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "check" {
+        eprintln!("unknown command `{command}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let findings = match analyzer::run_all(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("analyzer: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        let objects: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        println!("[{}]", objects.join(","));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        if findings.is_empty() {
+            println!("analyzer: clean ({} rules)", RULES.len());
+        } else {
+            println!("analyzer: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+const RULES: [&str; 5] = [
+    "unwrap",
+    "wall-clock",
+    "ordering",
+    "metrics-sync",
+    "error-exhaustive",
+];
+
+const USAGE: &str = "usage: analyzer check [--json] [--root DIR]\n\
+                     \n\
+                     Lints crates/*/src and tests/ under DIR (default: .).\n\
+                     Rules: unwrap, wall-clock, ordering, metrics-sync,\n\
+                     error-exhaustive. Suppress per line with\n\
+                     `// lint:allow(rule)`. See DESIGN.md section 10.";

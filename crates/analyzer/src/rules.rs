@@ -1,0 +1,464 @@
+//! The lint rules. Each rule walks the lexed lines of one file (plus, for
+//! `metrics-sync`, one cross-file comparison) and emits [`Finding`]s.
+//!
+//! Rules and their contracts are documented in `DESIGN.md` §10. Every
+//! rule honours per-line `// lint:allow(rule-name)` suppressions, written
+//! either on the offending line or on the line directly above it.
+
+use crate::lexer::LexedLine;
+use crate::Finding;
+
+/// The five atomic-ordering variant names. Matching these (rather than
+/// bare `Ordering::`) keeps `std::cmp::Ordering` comparators out of the
+/// rule's jurisdiction.
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Per-line facts shared by the rules: brace depth at line start, whether
+/// the line sits inside a `#[cfg(test)]` / `#[test]` scope, and whether a
+/// standalone `// ordering:` comment is in force for the enclosing block.
+pub struct FileView<'a> {
+    pub lines: &'a [LexedLine],
+    depth_at_start: Vec<usize>,
+    in_test: Vec<bool>,
+}
+
+impl<'a> FileView<'a> {
+    pub fn new(lines: &'a [LexedLine]) -> FileView<'a> {
+        let mut depth_at_start = Vec::with_capacity(lines.len());
+        let mut in_test = Vec::with_capacity(lines.len());
+        let mut depth = 0usize;
+        // Depth below which we leave test scope; None = not in test code.
+        let mut test_floor: Option<usize> = None;
+        // A `#[test]`-ish attribute was seen; the next opened brace starts
+        // the test item's body.
+        let mut pending_attr = false;
+        for line in lines {
+            depth_at_start.push(depth);
+            if line.code.contains("#[cfg(test)") || line.code.contains("#[test]") {
+                pending_attr = true;
+            }
+            let mut line_is_test = test_floor.is_some();
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        if pending_attr && test_floor.is_none() {
+                            test_floor = Some(depth);
+                            pending_attr = false;
+                            line_is_test = true;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_floor.is_some_and(|floor| depth <= floor) {
+                            test_floor = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            in_test.push(line_is_test || test_floor.is_some());
+        }
+        FileView {
+            lines,
+            depth_at_start,
+            in_test,
+        }
+    }
+
+    fn is_test(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
+    /// True when line `idx` carries a `lint:allow(rule)` suppression — on
+    /// the line itself, the line directly above, or anywhere in the
+    /// contiguous comment block directly above (multi-line
+    /// justifications are encouraged).
+    fn suppressed(&self, idx: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        if self.lines[idx].comment.contains(&marker) {
+            return true;
+        }
+        for i in (0..idx).rev() {
+            let line = &self.lines[i];
+            if line.comment.contains(&marker) {
+                return true;
+            }
+            // A code or blank line ends the comment block (the code line
+            // itself was still checked, so trailing comments count).
+            if !line.code.trim().is_empty() || line.comment.is_empty() {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// `unwrap`: no `.unwrap()`, `.expect(`, or `panic!` in non-test library
+/// code. Test scopes, `tests/` integration files, and bench bins
+/// (`src/bin/`) are exempt — see [`crate::unwrap_rule_applies`].
+pub fn check_unwrap(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "unwrap";
+    const NEEDLES: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) || view.suppressed(idx, RULE) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if line.code.contains(needle) {
+                out.push(Finding::new(
+                    RULE,
+                    file,
+                    idx + 1,
+                    format!(
+                        "`{needle}` in non-test code; propagate an error or add \
+                         `// lint:allow(unwrap)` with justification"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// `wall-clock`: deterministic simulation / fault-injection code must not
+/// read the wall clock. Which files the rule covers is decided by
+/// [`crate::wall_clock_rule_applies`].
+pub fn check_wall_clock(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "wall-clock";
+    const NEEDLES: [&str; 2] = ["SystemTime::now", "Instant::now"];
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) || view.suppressed(idx, RULE) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if line.code.contains(needle) {
+                out.push(Finding::new(
+                    RULE,
+                    file,
+                    idx + 1,
+                    format!(
+                        "`{needle}` in deterministic sim/fault code; use the \
+                         simulated clock"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// `ordering`: every atomic `Ordering::*` use needs a `// ordering:`
+/// justification — on the same line, on the line directly above, or via a
+/// standalone `// ordering:` comment earlier in the same block (which
+/// covers the remainder of that block).
+pub fn check_ordering(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "ordering";
+    const MARKER: &str = "ordering:";
+    // Depths at which a standalone justification comment is in force.
+    let mut active: Vec<usize> = Vec::new();
+    for (idx, line) in view.lines.iter().enumerate() {
+        let depth = view.depth_at_start[idx];
+        active.retain(|&d| depth >= d);
+        let standalone = line.code.trim().is_empty() && line.comment.contains(MARKER);
+        if standalone {
+            active.push(depth);
+            continue;
+        }
+        if view.is_test(idx) || view.suppressed(idx, RULE) {
+            continue;
+        }
+        let uses_atomic = ATOMIC_ORDERINGS.iter().any(|o| line.code.contains(o));
+        if !uses_atomic {
+            continue;
+        }
+        let same_line = line.comment.contains(MARKER);
+        let line_above = idx > 0 && view.lines[idx - 1].comment.contains(MARKER);
+        let block = !active.is_empty();
+        if !(same_line || line_above || block) {
+            out.push(Finding::new(
+                RULE,
+                file,
+                idx + 1,
+                "atomic `Ordering::*` use without an `// ordering:` \
+                 justification comment"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `error-exhaustive`: a `match` whose arms name `ErrorKind::` variants
+/// must not also have a `_ =>` catch-all — new kinds must be triaged at
+/// every consumer, not silently lumped in.
+pub fn check_error_exhaustive(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "error-exhaustive";
+    struct Ctx {
+        is_match: bool,
+        has_kind: bool,
+        wildcard: Option<usize>,
+    }
+    let mut stack: Vec<Ctx> = Vec::new();
+    // True between a `match` token and the `{` that opens its arm block
+    // (the scrutinee may span lines).
+    let mut pending_match = false;
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains("ErrorKind::") {
+            if let Some(ctx) = stack.iter_mut().rev().find(|c| c.is_match) {
+                ctx.has_kind = true;
+            }
+        }
+        if code.trim_start().starts_with("_ =>") && !view.suppressed(idx, RULE) {
+            if let Some(ctx) = stack.last_mut() {
+                if ctx.is_match && ctx.wildcard.is_none() {
+                    ctx.wildcard = Some(idx + 1);
+                }
+            }
+        }
+        // Track braces and the `match` keyword: the next `{` after a
+        // `match` token opens its arm block (struct literals are illegal
+        // in a bare match scrutinee, so this pairing is sound).
+        let mut token = String::new();
+        for c in code.chars() {
+            if c.is_alphanumeric() || c == '_' {
+                token.push(c);
+                continue;
+            }
+            if token == "match" {
+                pending_match = true;
+            }
+            token.clear();
+            match c {
+                '{' => {
+                    stack.push(Ctx {
+                        is_match: std::mem::take(&mut pending_match),
+                        has_kind: false,
+                        wildcard: None,
+                    });
+                }
+                '}' => {
+                    if let Some(ctx) = stack.pop() {
+                        if ctx.is_match && ctx.has_kind {
+                            if let Some(wl) = ctx.wildcard {
+                                out.push(Finding::new(
+                                    RULE,
+                                    file,
+                                    wl,
+                                    "`_ =>` catch-all in a match over \
+                                     `ErrorKind`; list every kind explicitly"
+                                        .to_string(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if token == "match" {
+            pending_match = true;
+        }
+    }
+}
+
+/// `metrics-sync`: the `OpClass::name()` strings in
+/// `crates/core/src/telemetry.rs` and the `op="…"` labels in the golden
+/// Prometheus snapshot must be the same set.
+pub fn check_metrics_sync(
+    telemetry: &[LexedLine],
+    telemetry_file: &str,
+    prom: &str,
+    prom_file: &str,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "metrics-sync";
+    // Code side: match arms of the form `OpClass::X => "name"`.
+    let mut code_names: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in telemetry.iter().enumerate() {
+        let trimmed = line.code.trim_start();
+        if trimmed.starts_with("OpClass::") && trimmed.contains("=>") {
+            if let Some(name) = line.strings.first() {
+                code_names.push((name.clone(), idx + 1));
+            }
+        }
+    }
+    // Golden side: `op="name"` labels on the latency family, which is
+    // keyed by `OpClass::name()` directly. Other families (e.g. the
+    // per-window series) carry their own label vocabulary.
+    let mut prom_names: Vec<(String, usize)> = Vec::new();
+    for (idx, raw) in prom.lines().enumerate() {
+        if !raw.starts_with("tpcx_iot_latency_nanos") {
+            continue;
+        }
+        let mut rest = raw;
+        while let Some(at) = rest.find("op=\"") {
+            let tail = &rest[at + 4..];
+            if let Some(end) = tail.find('"') {
+                let name = &tail[..end];
+                if !prom_names.iter().any(|(n, _)| n == name) {
+                    prom_names.push((name.to_string(), idx + 1));
+                }
+                rest = &tail[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    for (name, line) in &code_names {
+        if !prom_names.iter().any(|(n, _)| n == name) {
+            out.push(Finding::new(
+                RULE,
+                telemetry_file,
+                *line,
+                format!(
+                    "op class `{name}` has no `op=\"{name}\"` series in the \
+                     golden snapshot; regenerate {prom_file}"
+                ),
+            ));
+        }
+    }
+    for (name, line) in &prom_names {
+        if !code_names.iter().any(|(n, _)| n == name) {
+            out.push(Finding::new(
+                RULE,
+                prom_file,
+                *line,
+                format!(
+                    "golden snapshot series `op=\"{name}\"` has no matching \
+                     `OpClass` in {telemetry_file}"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings_for(src: &str, rule: fn(&FileView, &str, &mut Vec<Finding>)) -> Vec<Finding> {
+        let lines = lex(src);
+        let view = FileView::new(&lines);
+        let mut out = Vec::new();
+        rule(&view, "mem.rs", &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { y.unwrap(); }\n\
+                   }\n";
+        let out = findings_for(src, check_unwrap);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_suppressed_by_allow() {
+        let src = "// lint:allow(unwrap) infallible by construction\n\
+                   fn a() { x.unwrap(); }\n\
+                   fn b() { y.expect(\"msg\"); } // lint:allow(unwrap) also ok\n";
+        assert!(findings_for(src, check_unwrap).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ignores_strings_and_comments() {
+        let src = "fn a() { log(\".unwrap() in a string\"); } // .expect( in comment\n";
+        assert!(findings_for(src, check_unwrap).is_empty());
+    }
+
+    #[test]
+    fn ordering_requires_justification() {
+        let src = "fn a() { c.load(Ordering::Relaxed); }\n";
+        let out = findings_for(src, check_ordering);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn ordering_same_line_and_above_and_block() {
+        let src = "fn a() {\n\
+                       c.load(Ordering::Relaxed); // ordering: stats counter\n\
+                       let _g = prep(); // ordering: Acquire pairs with Release\n\
+                       c.load(Ordering::Acquire);\n\
+                       {\n\
+                           // ordering: all Relaxed below are stat reads\n\
+                           a.load(Ordering::Relaxed);\n\
+                           b.load(Ordering::Relaxed);\n\
+                       }\n\
+                       d.load(Ordering::SeqCst);\n\
+                   }\n";
+        let out = findings_for(src, check_ordering);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(
+            out[0].line, 10,
+            "block coverage from the nested comment must expire at its brace"
+        );
+    }
+
+    #[test]
+    fn ordering_ignores_cmp_ordering() {
+        let src = "fn cmp(a: &K, b: &K) -> Ordering { Ordering::Equal }\n";
+        assert!(findings_for(src, check_ordering).is_empty());
+    }
+
+    #[test]
+    fn error_exhaustive_flags_wildcard() {
+        let src = "fn f(e: E) {\n\
+                       match e.kind {\n\
+                           ErrorKind::Transient => retry(),\n\
+                           _ => give_up(),\n\
+                       }\n\
+                   }\n";
+        let out = findings_for(src, check_error_exhaustive);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn error_exhaustive_ignores_other_matches() {
+        let src = "fn f(x: u8) {\n\
+                       match x {\n\
+                           0 => a(),\n\
+                           _ => b(),\n\
+                       }\n\
+                       match k {\n\
+                           ErrorKind::Transient => a(),\n\
+                           ErrorKind::Permanent => b(),\n\
+                       }\n\
+                   }\n";
+        assert!(findings_for(src, check_error_exhaustive).is_empty());
+    }
+
+    #[test]
+    fn metrics_sync_two_way_diff() {
+        let telem = lex("fn name(self) -> &'static str {\n\
+                             match self {\n\
+                                 OpClass::Ingest => \"ingest\",\n\
+                                 OpClass::Query => \"query\",\n\
+                             }\n\
+                         }\n");
+        let prom = "tpcx_iot_latency_nanos{op=\"ingest\"} 1\n\
+                    tpcx_iot_latency_nanos{op=\"scan\"} 2\n\
+                    tpcx_iot_window_ops{op=\"scan_rows\"} 3\n";
+        let mut out = Vec::new();
+        check_metrics_sync(&telem, "telemetry.rs", prom, "golden.prom", &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.file == "telemetry.rs" && f.line == 4));
+        assert!(out.iter().any(|f| f.file == "golden.prom" && f.line == 2));
+    }
+}

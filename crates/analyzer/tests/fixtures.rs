@@ -1,0 +1,110 @@
+//! End-to-end fixture tests: run the full lint pass over the seeded
+//! mini-workspace in `fixtures/ws` and assert the exact findings, down to
+//! file and line. One seeded violation (and one suppressed twin) per rule.
+
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn findings() -> Vec<analyzer::Finding> {
+    analyzer::run_all(&fixture_root()).expect("fixture tree scans cleanly")
+}
+
+#[test]
+fn exact_findings_over_fixture_workspace() {
+    let got: Vec<(String, String, usize)> = findings()
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.file, f.line))
+        .collect();
+    let want: Vec<(String, String, usize)> = [
+        ("metrics-sync", "crates/core/src/telemetry.rs", 10),
+        ("unwrap", "crates/foo/src/lib.rs", 2),
+        ("ordering", "crates/foo/src/lib.rs", 11),
+        ("error-exhaustive", "crates/foo/src/lib.rs", 22),
+        ("wall-clock", "crates/simkit/src/lib.rs", 2),
+        ("metrics-sync", "tests/golden/metrics_snapshot.prom", 3),
+    ]
+    .into_iter()
+    .map(|(r, f, l)| (r.to_string(), f.to_string(), l))
+    .collect();
+    assert_eq!(
+        got, want,
+        "findings must match the seeded violations exactly"
+    );
+}
+
+#[test]
+fn unwrap_finding_points_at_the_call() {
+    let f = findings()
+        .into_iter()
+        .find(|f| f.rule == "unwrap")
+        .expect("unwrap violation seeded");
+    assert_eq!((f.file.as_str(), f.line), ("crates/foo/src/lib.rs", 2));
+    assert!(f.message.contains(".unwrap()"));
+}
+
+#[test]
+fn wall_clock_finding_names_the_api() {
+    let f = findings()
+        .into_iter()
+        .find(|f| f.rule == "wall-clock")
+        .expect("wall-clock violation seeded");
+    assert_eq!((f.file.as_str(), f.line), ("crates/simkit/src/lib.rs", 2));
+    assert!(f.message.contains("Instant::now"));
+}
+
+#[test]
+fn ordering_finding_is_line_exact() {
+    let f = findings()
+        .into_iter()
+        .find(|f| f.rule == "ordering")
+        .expect("ordering violation seeded");
+    assert_eq!((f.file.as_str(), f.line), ("crates/foo/src/lib.rs", 11));
+}
+
+#[test]
+fn error_exhaustive_finding_points_at_wildcard_arm() {
+    let f = findings()
+        .into_iter()
+        .find(|f| f.rule == "error-exhaustive")
+        .expect("error-exhaustive violation seeded");
+    assert_eq!((f.file.as_str(), f.line), ("crates/foo/src/lib.rs", 22));
+}
+
+#[test]
+fn metrics_sync_reports_both_directions() {
+    let all = findings();
+    let ms: Vec<&analyzer::Finding> = all.iter().filter(|f| f.rule == "metrics-sync").collect();
+    assert_eq!(ms.len(), 2);
+    assert!(ms
+        .iter()
+        .any(|f| f.file == "crates/core/src/telemetry.rs" && f.line == 10));
+    assert!(ms
+        .iter()
+        .any(|f| f.file == "tests/golden/metrics_snapshot.prom" && f.line == 3));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let all = findings();
+    let json = format!(
+        "[{}]",
+        all.iter()
+            .map(|f| f.to_json())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"rule\":\"unwrap\""));
+    assert!(json.contains("\"file\":\"crates/foo/src/lib.rs\""));
+    assert!(json.contains("\"line\":2"));
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let a = findings();
+    let b = findings();
+    assert_eq!(a, b);
+}

@@ -155,6 +155,8 @@ fn run_case(mode: Mode, rows_per_window: u64, queries: u64) -> Case {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut count = 0u64;
+                // ordering: Relaxed — best-effort stop flag; workers may run
+                // one extra iteration, which the measurement tolerates.
                 while !stop.load(Ordering::Relaxed) {
                     // Batched like the real driver, so the writers put
                     // genuine pressure on the engine during the scans.
@@ -201,6 +203,8 @@ fn run_case(mode: Mode, rows_per_window: u64, queries: u64) -> Case {
     }
     let elapsed = started.elapsed().as_secs_f64();
 
+    // ordering: Relaxed — see the worker loop; the join below is the
+    // synchronization point.
     stop.store(true, Ordering::Relaxed);
     let concurrent_ingested = writers.into_iter().map(|w| w.join().expect("writer")).sum();
 

@@ -217,6 +217,7 @@ impl NullBackend {
     }
 
     pub fn bytes_checksum(&self) -> u64 {
+        // ordering: Relaxed — checksum sink read after the run joins.
         self.sink.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
@@ -227,6 +228,8 @@ impl GatewayBackend for NullBackend {
             .iter()
             .fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
             ^ (value.len() as u64);
+        // ordering: Relaxed — commutative checksum/count accumulators; reads
+        // happen only after worker threads join.
         self.sink
             .fetch_xor(mix, std::sync::atomic::Ordering::Relaxed);
         self.count
@@ -243,6 +246,7 @@ impl GatewayBackend for NullBackend {
     }
 
     fn ingested_count(&self) -> u64 {
+        // ordering: Relaxed — statistics read.
         self.count.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
@@ -268,6 +272,7 @@ impl GatewayBackend for MemBackend {
         self.map
             .write()
             .insert(key.to_vec(), Bytes::copy_from_slice(value));
+        // ordering: Relaxed — statistics counter.
         self.inserts
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
@@ -305,6 +310,7 @@ impl GatewayBackend for MemBackend {
     }
 
     fn ingested_count(&self) -> u64 {
+        // ordering: Relaxed — statistics read.
         self.inserts.load(std::sync::atomic::Ordering::Relaxed)
     }
 }

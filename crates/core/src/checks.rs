@@ -61,7 +61,7 @@ impl KitManifest {
                 } else {
                     let rel = path
                         .strip_prefix(root)
-                        .expect("path is under root")
+                        .map_err(|_| std::io::Error::other("walked path escaped manifest root"))?
                         .to_path_buf();
                     entries.insert(rel, md5_file(&path)?);
                 }

@@ -274,7 +274,7 @@ pub fn run_driver_with_telemetry(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("driver thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
 

@@ -67,6 +67,8 @@ pub fn fig8_generation_speed(
                     );
                     for _ in 0..per_thread {
                         let (k, v) = generator.next_kvp();
+                        // lint:allow(unwrap) NullBackend::insert is infallible
+                        // by construction; the expect documents that contract.
                         sink.insert(&k, &v).expect("null sink never fails");
                     }
                 });

@@ -71,6 +71,8 @@ impl Md5 {
         }
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
+            // lint:allow(unwrap) chunks_exact(64) yields 64-byte slices;
+            // the fixed-width try_into cannot fail.
             self.compress(block.try_into().expect("chunk is 64 bytes"));
         }
         let rest = chunks.remainder();
@@ -81,6 +83,8 @@ impl Md5 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
         for (i, w) in m.iter_mut().enumerate() {
+            // lint:allow(unwrap) four-byte window of a &[u8; 64] block;
+            // the fixed-width try_into cannot fail.
             *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
         }
         let [mut a, mut b, mut c, mut d] = self.state;

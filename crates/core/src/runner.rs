@@ -221,7 +221,7 @@ impl BenchmarkRunner {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("driver instance panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         });
         let elapsed_secs = started.elapsed().as_secs_f64();
@@ -335,11 +335,13 @@ impl BenchmarkRunner {
             // System cleanup between iterations (and after the last, so
             // the SUT is left pristine).
             if let Err(e) = sut.cleanup() {
-                iterations.last_mut().expect("just pushed").data_check = CheckResult {
-                    name: "data check",
-                    passed: false,
-                    detail: format!("system cleanup failed: {e}"),
-                };
+                if let Some(iteration) = iterations.last_mut() {
+                    iteration.data_check = CheckResult {
+                        name: "data check",
+                        passed: false,
+                        detail: format!("system cleanup failed: {e}"),
+                    };
+                }
                 break;
             }
         }

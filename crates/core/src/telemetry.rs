@@ -210,7 +210,7 @@ pub struct RunTelemetry {
     phase: Phase,
     window_nanos: u64,
     epoch: Instant,
-    merged: parking_lot::Mutex<ThreadRecorder>,
+    merged: simkit::sync::Mutex<ThreadRecorder>,
 }
 
 impl RunTelemetry {
@@ -220,7 +220,7 @@ impl RunTelemetry {
             phase,
             window_nanos,
             epoch: Instant::now(),
-            merged: parking_lot::Mutex::new(ThreadRecorder::new(window_nanos)),
+            merged: simkit::sync::Mutex::new(ThreadRecorder::new(window_nanos)),
         }
     }
 

@@ -12,10 +12,10 @@ use crate::region::RegionMap;
 use crate::{GatewayError, Result};
 use bytes::Bytes;
 use iotkv::{Db, Options, WriteBatch};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
+use simkit::sync::{AtomicU64, Mutex, Ordering};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cluster configuration.
@@ -236,6 +236,8 @@ impl Cluster {
         }
         for (k, v) in hints.drain(..) {
             if self.nodes[node].db.put(&k, &v).is_ok() {
+                // ordering: Relaxed — statistics counters; reconciliation
+                // reads them through stats() snapshots only.
                 self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
                 self.replayed_hints.fetch_add(1, Ordering::Relaxed);
             }
@@ -243,6 +245,7 @@ impl Cluster {
     }
 
     fn unavailable(&self, msg: impl Into<String>) -> GatewayError {
+        // ordering: Relaxed — statistics counter.
         self.unavailable_errors.fetch_add(1, Ordering::Relaxed);
         GatewayError::Unavailable(msg.into())
     }
@@ -299,6 +302,10 @@ impl Cluster {
         // per-node `writes` (and `node_db_stats`) even when a storage
         // engine fails partway through the replica loop. `puts` is only
         // bumped on full acknowledgement.
+        // ordering: Relaxed — every counter below is a statistic; the
+        // reconciliation invariant is over stats() snapshots, not a
+        // synchronization point, and the payload travels through the
+        // storage engine's own write path.
         let mut written = 0u64;
         for &node in &live {
             if let Err(e) = self.nodes[node].db.put(key, value) {
@@ -380,6 +387,7 @@ impl Cluster {
             }
             plans.push((idxs, live, down));
         }
+        // ordering: Relaxed — every counter below is a statistic (see put()).
         let mut written = 0u64;
         for (idxs, live, down) in &plans {
             for &node in live {
@@ -425,6 +433,7 @@ impl Cluster {
         };
         let now = self.fault_tick();
         let node = self.pick_read_node(primary, &replicas, key, now)?;
+        // ordering: Relaxed — statistics counters.
         self.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
         self.gets.fetch_add(1, Ordering::Relaxed);
         Ok(self.nodes[node].db.get(key)?)
@@ -458,6 +467,7 @@ impl Cluster {
         match fault.judge(node, key, now) {
             FaultVerdict::Ok => {
                 if node != primary {
+                    // ordering: Relaxed — statistics counter.
                     self.failover_reads.fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(node)
@@ -504,6 +514,7 @@ impl Cluster {
     ///
     /// The scan fails only when a region has no live replica at all.
     pub fn scan_stream(&self, start: &[u8], end: &[u8]) -> ClusterScan<'_> {
+        // ordering: Relaxed — statistics counter.
         self.scans.fetch_add(1, Ordering::Relaxed);
         let targets: Vec<ScanTarget> = if start >= end {
             Vec::new()
@@ -581,6 +592,8 @@ impl Cluster {
     /// storage directories, and restarts every storage engine. Counters
     /// reset too — the next iteration starts from identical conditions.
     pub fn purge(&mut self) -> Result<()> {
+        // ordering: Relaxed — counter resets; purge holds &mut self, so no
+        // concurrent operation can observe a torn reset.
         let storage = self.config.storage.clone();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let dir = self.config.data_dir.join(format!("node-{i}"));
@@ -626,6 +639,8 @@ impl Cluster {
 
     /// Degraded-mode counters only (a cheap subset of [`Cluster::stats`]).
     pub fn resilience(&self) -> ResilienceStats {
+        // ordering: Relaxed — statistics snapshot; counters are independent
+        // tallies, not a consistency point.
         ResilienceStats {
             failover_reads: self.failover_reads.load(Ordering::Relaxed),
             under_replicated_writes: self.under_replicated_writes.load(Ordering::Relaxed),
@@ -638,6 +653,8 @@ impl Cluster {
     }
 
     pub fn stats(&self) -> ClusterStats {
+        // ordering: Relaxed — statistics snapshot (see resilience()); the
+        // replica-writes reconciliation tolerates in-flight operations.
         ClusterStats {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -744,6 +761,7 @@ impl ClusterScan<'_> {
                                     cluster.unavailable(format!("transient fault on node {node}"))
                                 );
                             }
+                            // ordering: Relaxed — statistics counter.
                             cluster.scan_retries.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -751,6 +769,7 @@ impl ClusterScan<'_> {
             }
             return Err(cluster.unavailable("no live replica for scan"));
         };
+        // ordering: Relaxed — statistics counters.
         if node != target.primary {
             cluster.failover_reads.fetch_add(1, Ordering::Relaxed);
         }
@@ -771,7 +790,11 @@ impl ClusterScan<'_> {
     /// Reopens the active cursor on another live node, continuing from
     /// the strict successor of the last yielded key.
     fn resume_cursor(&mut self) -> Result<()> {
-        let cursor = self.cursor.take().expect("resume needs a cursor");
+        // No active cursor means there is nothing to resume; the iterator
+        // loop will simply open the next region target.
+        let Some(cursor) = self.cursor.take() else {
+            return Ok(());
+        };
         let from = match &cursor.last_key {
             // `key ++ 0x00` is the smallest key strictly after `key`.
             Some(key) => {
@@ -809,7 +832,11 @@ impl Iterator for ClusterScan<'_> {
                     }
                 }
             }
-            let cursor = self.cursor.as_mut().expect("cursor just ensured");
+            let Some(cursor) = self.cursor.as_mut() else {
+                // Just ensured above; looping again re-ensures rather than
+                // panicking if that invariant ever changes.
+                continue;
+            };
             if self.cluster.fault.is_some()
                 && cursor.rows_since_check >= Self::LIVENESS_REFRESH_ROWS
             {
@@ -848,6 +875,8 @@ impl Iterator for ClusterScan<'_> {
 
 impl Drop for ClusterScan<'_> {
     fn drop(&mut self) {
+        // ordering: Relaxed — statistics counter; credited once per scan at
+        // drop so partially consumed scans still account their rows.
         self.cluster
             .rows_streamed
             .fetch_add(self.rows_streamed, Ordering::Relaxed);
@@ -1114,6 +1143,30 @@ mod tests {
         }
         assert!(c.resilience().scan_retries > 0, "bursts were absorbed");
         assert_eq!(c.resilience().unavailable_errors, unavailable_before);
+        destroy(c);
+    }
+
+    #[test]
+    fn scan_stream_is_fused_after_exhaustion() {
+        // Regression for the cursor-handling rewrite: once the region
+        // targets are exhausted the iterator must keep returning `None`
+        // (and never panic on a missing cursor), even when polled again.
+        let mut config = ClusterConfig::new(tmpdir("scanfused"), 3);
+        config.storage = Options::small();
+        let c = Cluster::start(config).unwrap();
+        for i in 0..10 {
+            c.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        let mut scan = c.scan_stream(b"k", b"l");
+        let mut rows = 0;
+        for row in &mut scan {
+            row.unwrap();
+            rows += 1;
+        }
+        assert_eq!(rows, 10);
+        assert!(scan.next().is_none(), "exhausted scan stays exhausted");
+        assert!(scan.next().is_none(), "repeated polls stay None");
+        drop(scan);
         destroy(c);
     }
 

@@ -31,8 +31,8 @@
 //! by `iotkv`'s own recovery tests.
 
 use simkit::rng::{derive_seed, Stream};
+use simkit::sync::{AtomicBool, AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -186,6 +186,8 @@ impl FaultState {
     /// Advances the global operation counter; call once per cluster-level
     /// operation. Returns the operation's sequence number.
     pub fn tick(&self) -> u64 {
+        // ordering: Relaxed — a monotone logical clock; uniqueness comes from
+        // the RMW and verdicts are pure functions of the returned value.
         self.ops.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -242,11 +244,15 @@ impl FaultState {
     /// pre-computed hash.
     fn judge_hashed(&self, node: usize, h: u64, now: u64) -> FaultVerdict {
         if self.node_down(node, now) {
+            // ordering: Release — pairs with take_restart()'s AcqRel swap so
+            // the restart edge is observed after the down verdict that set it.
             self.nodes[node].was_down.store(true, Ordering::Release);
+            // ordering: Relaxed — statistics counter.
             self.down_rejections.fetch_add(1, Ordering::Relaxed);
             return FaultVerdict::NodeDown;
         }
         if self.plan.added_latency > Duration::ZERO && self.plan.slow_nodes.contains(&node) {
+            // ordering: Relaxed — statistics counter.
             self.delayed_ops.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(self.plan.added_latency);
         }
@@ -260,6 +266,7 @@ impl FaultState {
                 let seen = bursts.entry(h).or_insert(0);
                 if *seen < burst {
                     *seen += 1;
+                    // ordering: Relaxed — statistics counter.
                     self.transient_errors.fetch_add(1, Ordering::Relaxed);
                     return FaultVerdict::Transient;
                 }
@@ -273,10 +280,14 @@ impl FaultState {
     /// Returns `true` exactly once after `node` comes back up — the
     /// cluster replays that node's hinted writes on this edge.
     pub fn take_restart(&self, node: usize, now: u64) -> bool {
+        // ordering: AcqRel — the Acquire half pairs with the Release store in
+        // judge_hashed so this edge happens-after the down verdict; the
+        // Release half lets exactly one caller win the swap and replay hints.
         !self.node_down(node, now) && self.nodes[node].was_down.swap(false, Ordering::AcqRel)
     }
 
     pub fn counters(&self) -> FaultCounters {
+        // ordering: Relaxed — statistics snapshot.
         FaultCounters {
             transient_errors: self.transient_errors.load(Ordering::Relaxed),
             down_rejections: self.down_rejections.load(Ordering::Relaxed),

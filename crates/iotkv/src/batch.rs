@@ -76,6 +76,7 @@ impl WriteBatch {
     /// The stamped starting sequence number (zero until
     /// [`WriteBatch::set_seq`] runs).
     pub fn seq(&self) -> SeqNo {
+        // lint:allow(unwrap) fixed-width try_into of a length-checked slice
         u64::from_le_bytes(self.buf[0..8].try_into().unwrap())
     }
 

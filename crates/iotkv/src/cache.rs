@@ -6,9 +6,8 @@
 //! doubly-linked list (O(1) hit, insert, and eviction).
 
 use crate::sstable::block::Block;
-use parking_lot::Mutex;
+use simkit::sync::{AtomicU64, Mutex, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const SHARDS: usize = 16;
@@ -188,6 +187,8 @@ impl BlockCache {
             return None;
         }
         let got = self.shard_of(key).lock().get(key);
+        // ordering: Relaxed — hit/miss tallies feed stats reads only; they
+        // publish no data and tolerate being observed mid-update.
         if got.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -216,10 +217,12 @@ impl BlockCache {
     }
 
     pub fn hit_count(&self) -> u64 {
+        // ordering: Relaxed — statistics read; staleness is acceptable.
         self.hits.load(Ordering::Relaxed)
     }
 
     pub fn miss_count(&self) -> u64 {
+        // ordering: Relaxed — statistics read; staleness is acceptable.
         self.misses.load(Ordering::Relaxed)
     }
 

@@ -48,8 +48,10 @@ pub fn extend(crc: u32, data: &[u8]) -> u32 {
     let mut crc = !crc;
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
+        // lint:allow(unwrap) fixed-width try_into of a length-checked slices
+        // (chunks_exact(8) yields 8-byte chunks).
         let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
-        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap()); // lint:allow(unwrap)
         crc = t[7][(lo & 0xff) as usize]
             ^ t[6][((lo >> 8) & 0xff) as usize]
             ^ t[5][((lo >> 16) & 0xff) as usize]

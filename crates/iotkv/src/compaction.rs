@@ -201,9 +201,11 @@ pub fn merge_to_tables(
             )?;
             current = Some((id, b));
         }
+        // lint:allow(unwrap) the branch above just populated `current`.
         let (id, builder) = current.as_mut().expect("just ensured");
         builder.add(&ik, &value)?;
         if builder.estimated_size() >= opts.table_bytes {
+            // lint:allow(unwrap) still present: only taken right here.
             let (id, builder) = (*id, current.take().expect("present").1);
             out.push((id, builder.finish()?));
         }

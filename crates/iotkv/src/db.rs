@@ -33,9 +33,9 @@ use crate::{CompactionStyle, Error, Options, Result, SeqNo, SyncMode};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
+use simkit::sync::{AtomicBool, AtomicU64, Ordering};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -162,6 +162,8 @@ impl DbInner {
             .keys()
             .next()
             .copied()
+            // ordering: Acquire — pairs with the commit thread's Release
+            // store; a snapshot taken at this seq must see the data it covers.
             .unwrap_or_else(|| self.visible_seq.load(Ordering::Acquire))
     }
 
@@ -191,6 +193,8 @@ impl DbInner {
             &self.dir,
             &ManifestState {
                 next_file_id: vset.next_file_id,
+                // ordering: Acquire — pairs with the commit thread's Release
+                // store so the manifest never records an unpublished seq.
                 last_seq: self.visible_seq.load(Ordering::Acquire),
                 log_number: vset.log_number,
                 version: (*vset.version).clone(),
@@ -224,6 +228,8 @@ impl DbInner {
         let mut vset = self.vset.lock();
         let mut added = Vec::new();
         for (id, meta) in &outputs {
+            // ordering: Relaxed — statistics counter; published via DbStats
+            // reads that tolerate staleness.
             self.counters
                 .bytes_flushed
                 .fetch_add(meta.file_size, Ordering::Relaxed);
@@ -254,6 +260,7 @@ impl DbInner {
             }
         }
         self.delete_stale_wals(log_number);
+        // ordering: Relaxed — statistics counter.
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
@@ -296,9 +303,13 @@ impl DbInner {
                 .iter()
                 .chain(&job.overlaps)
                 .map(|f| {
+                    // Every file named by a compaction job is pinned in the
+                    // version set until the job completes; a missing table is
+                    // state corruption worth crashing on.
                     let table = vset
                         .tables
                         .get(&f.id)
+                        // lint:allow(unwrap) invariant panic, see above
                         .unwrap_or_else(|| panic!("table {} missing from version state", f.id));
                     Source::Table(table.iter())
                 })
@@ -315,6 +326,7 @@ impl DbInner {
         )?;
 
         let deleted = job.input_ids();
+        // ordering: Relaxed — statistics counter.
         self.counters
             .bytes_compacted
             .fetch_add(job.input_bytes(), Ordering::Relaxed);
@@ -346,6 +358,7 @@ impl DbInner {
             self.cache.erase_table(*id);
             std::fs::remove_file(table_path(&self.dir, *id)).ok();
         }
+        // ordering: Relaxed — statistics counter.
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -469,16 +482,14 @@ impl Db {
         let commit_inner = Arc::clone(&inner);
         let commit_handle = std::thread::Builder::new()
             .name("iotkv-commit".into())
-            .spawn(move || commit_loop(commit_inner, rx, wal, wal_id, last_seq))
-            .expect("spawn commit thread");
+            .spawn(move || commit_loop(commit_inner, rx, wal, wal_id, last_seq))?;
 
         let bg_handle = if opts.background_compaction {
             let bg_inner = Arc::clone(&inner);
             Some(
                 std::thread::Builder::new()
                     .name("iotkv-bg".into())
-                    .spawn(move || background_loop(bg_inner))
-                    .expect("spawn background thread"),
+                    .spawn(move || background_loop(bg_inner))?,
             )
         } else {
             None
@@ -499,6 +510,7 @@ impl Db {
         }
         let mut batch = WriteBatch::new();
         batch.put(key, value);
+        // ordering: Relaxed — statistics counter.
         self.inner.counters.puts.fetch_add(1, Ordering::Relaxed);
         self.write_batch_internal(batch)
     }
@@ -510,6 +522,7 @@ impl Db {
         }
         let mut batch = WriteBatch::new();
         batch.delete(key);
+        // ordering: Relaxed — statistics counter.
         self.inner.counters.deletes.fetch_add(1, Ordering::Relaxed);
         self.write_batch_internal(batch)
     }
@@ -519,6 +532,7 @@ impl Db {
         if batch.is_empty() {
             return Ok(());
         }
+        // ordering: Relaxed — statistics counter.
         self.inner
             .counters
             .puts
@@ -527,6 +541,8 @@ impl Db {
     }
 
     fn write_batch_internal(&self, batch: WriteBatch) -> Result<()> {
+        // ordering: Acquire — pairs with close()'s Release store; a writer
+        // that sees `closed` must also see the drained commit pipeline.
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(Error::Closed);
         }
@@ -543,7 +559,10 @@ impl Db {
 
     /// Reads the newest visible value of `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        // ordering: Relaxed — statistics counter.
         self.inner.counters.gets.fetch_add(1, Ordering::Relaxed);
+        // ordering: Acquire — pairs with the commit thread's Release store;
+        // reading seq N implies the memtable already holds N's entries.
         let seq = self.inner.visible_seq.load(Ordering::Acquire);
 
         // 1. Active memtable.
@@ -610,7 +629,10 @@ impl Db {
     /// releases it on drop. A deferred table I/O error surfaces as one
     /// final `Err` item after which the iterator is fused.
     pub fn scan_iter(&self, start: &[u8], end: &[u8]) -> ScanIter {
+        // ordering: Relaxed — statistics counter.
         self.inner.counters.scans.fetch_add(1, Ordering::Relaxed);
+        // ordering: Acquire — pairs with the commit thread's Release store;
+        // the pinned snapshot must see every entry at or below seq.
         let seq = self.inner.visible_seq.load(Ordering::Acquire);
         self.inner.register_snapshot(seq);
 
@@ -659,6 +681,7 @@ impl Db {
 
     /// Forces the active memtable (and all frozen ones) to disk.
     pub fn flush(&self) -> Result<()> {
+        // ordering: Acquire — pairs with close()'s Release store.
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(Error::Closed);
         }
@@ -686,6 +709,8 @@ impl Db {
         for (i, level) in vset.version.levels.iter().take(8).enumerate() {
             level_shape[i] = level.len();
         }
+        // ordering: Relaxed — statistics snapshot; counters are independent
+        // and the snapshot is advisory, not a consistency point.
         DbStats {
             puts: c.puts.load(Ordering::Relaxed),
             deletes: c.deletes.load(Ordering::Relaxed),
@@ -779,6 +804,8 @@ impl Drop for ScanIter {
 
 impl Drop for Db {
     fn drop(&mut self) {
+        // ordering: Release — publishes the close decision; Acquire loads in
+        // the write/flush paths and worker loops observe it and stand down.
         self.inner.closed.store(true, Ordering::Release);
         let _ = self.commit_tx.send(CommitMsg::Shutdown);
         if let Some(h) = self.commit_handle.lock().take() {
@@ -823,6 +850,7 @@ fn commit_loop(
             }
         }
 
+        // ordering: Relaxed — statistics counters.
         inner.counters.commit_groups.fetch_add(1, Ordering::Relaxed);
         inner
             .counters
@@ -845,10 +873,12 @@ fn commit_loop(
             let sync_result = match inner.opts.sync {
                 SyncMode::None => wal.flush(),
                 SyncMode::GroupCommit => {
+                    // ordering: Relaxed — statistics counter.
                     inner.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
                     wal.sync()
                 }
                 SyncMode::Always => {
+                    // ordering: Relaxed — statistics counter.
                     inner
                         .counters
                         .wal_syncs
@@ -893,6 +923,8 @@ fn commit_loop(
                 }
             }
         }
+        // ordering: Release — publishes the freshly applied memtable entries;
+        // pairs with the Acquire loads readers use to pick their snapshot seq.
         inner.visible_seq.store(last_seq, Ordering::Release);
         for (_, reply) in &group {
             let _ = reply.send(match &apply_err {
@@ -918,9 +950,11 @@ fn commit_loop(
                     if l0 < inner.opts.l0_stall_trigger && imm_backlog < 4 {
                         break;
                     }
+                    // ordering: Acquire — pairs with close()'s Release store.
                     if inner.closed.load(Ordering::Acquire) {
                         break;
                     }
+                    // ordering: Relaxed — statistics counter.
                     inner.counters.stalls.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
@@ -972,6 +1006,7 @@ fn background_loop(inner: Arc<DbInner>) {
         {
             let mut guard = inner.bg_mutex.lock();
             if !inner.maintenance_pending() {
+                // ordering: Acquire — pairs with close()'s Release store.
                 if inner.closed.load(Ordering::Acquire) {
                     return;
                 }
@@ -980,6 +1015,7 @@ fn background_loop(inner: Arc<DbInner>) {
                     .wait_for(&mut guard, std::time::Duration::from_millis(20));
             }
         }
+        // ordering: Acquire — pairs with close()'s Release store.
         if inner.closed.load(Ordering::Acquire) && !inner.maintenance_pending() {
             return;
         }

@@ -23,6 +23,7 @@ pub fn get_u32(src: &mut &[u8]) -> Result<u32> {
     }
     let (head, rest) = src.split_at(4);
     *src = rest;
+    // lint:allow(unwrap) fixed-width try_into of a length-checked slice
     Ok(u32::from_le_bytes(head.try_into().unwrap()))
 }
 
@@ -34,6 +35,7 @@ pub fn get_u64(src: &mut &[u8]) -> Result<u64> {
     }
     let (head, rest) = src.split_at(8);
     *src = rest;
+    // lint:allow(unwrap) fixed-width try_into of a length-checked slice
     Ok(u64::from_le_bytes(head.try_into().unwrap()))
 }
 

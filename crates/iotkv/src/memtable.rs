@@ -12,10 +12,9 @@
 
 use crate::{SeqNo, ValueKind};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use simkit::sync::{AtomicUsize, Ordering, RwLock};
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Internal key: user key + version metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +87,8 @@ impl MemTable {
         // 24 bytes of per-entry bookkeeping overhead approximation.
         let sz = key.len() + v.len() + 24;
         self.map.write().insert(ik, v);
+        // ordering: Relaxed — approx_bytes is a monotone size estimate read
+        // only for flush heuristics; no payload is published through it.
         self.approx_bytes.fetch_add(sz, Ordering::Relaxed);
     }
 
@@ -115,6 +116,8 @@ impl MemTable {
 
     /// Approximate memory footprint in bytes.
     pub fn approximate_bytes(&self) -> usize {
+        // ordering: Relaxed — heuristic read of the size estimate; an
+        // off-by-one-entry answer only shifts a flush boundary.
         self.approx_bytes.load(Ordering::Relaxed)
     }
 

@@ -95,6 +95,8 @@ impl TableBuilder {
         }
         let data = self.block.finish();
         let handle = self.write_checked_block(&data)?;
+        // lint:allow(unwrap) the is_empty() early-return above guarantees
+        // at least one key was added, which set `last`.
         let last = self.last.clone().expect("non-empty block has a last key");
         self.index.add(&last, handle);
         self.first_key_in_block = None;
@@ -149,8 +151,10 @@ impl TableBuilder {
         self.out.get_ref().sync_data()?;
 
         Ok(TableMeta {
+            // lint:allow(unwrap) finish() on an empty table is a caller
+            // bug; both bounds were set by the first add().
             smallest: self.smallest.expect("non-empty table"),
-            largest: self.last.expect("non-empty table"),
+            largest: self.last.expect("non-empty table"), // lint:allow(unwrap)
             entry_count: self.entry_count,
             file_size: self.offset,
         })

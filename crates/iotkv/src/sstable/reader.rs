@@ -151,6 +151,8 @@ fn read_checked(file: &File, handle: BlockHandle, file_size: u64) -> Result<Vec<
     let mut buf = vec![0u8; handle.len as usize + 4];
     file.read_exact_at(&mut buf, handle.offset)?;
     let (data, crc_bytes) = buf.split_at(handle.len as usize);
+    // lint:allow(unwrap) fixed-width try_into of a length-checked slice
+    // (split_at leaves exactly the 4 trailer bytes).
     let stored = unmask(u32::from_le_bytes(crc_bytes.try_into().unwrap()));
     if crc32c(data) != stored {
         return Err(Error::corruption(format!(

@@ -175,8 +175,10 @@ pub fn load_manifest(dir: &Path) -> Result<Option<ManifestState>> {
     if data.len() < 8 {
         return Err(Error::corruption("manifest shorter than header"));
     }
+    // lint:allow(unwrap) fixed-width try_into of a length-checked slices
+    // (length >= 8 checked above).
     let stored_crc = unmask(u32::from_le_bytes(data[0..4].try_into().unwrap()));
-    let len = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize; // lint:allow(unwrap)
     if data.len() < 8 + len {
         return Err(Error::corruption("manifest truncated"));
     }

@@ -104,8 +104,10 @@ impl LogReader {
             ReadOutcome::Partial => return Ok(None), // torn header at tail
             ReadOutcome::Full => {}
         }
+        // lint:allow(unwrap) fixed-width try_into of a length-checked slices
+        // (header is a [u8; 8] fully read above).
         let stored_crc = unmask(u32::from_le_bytes(header[0..4].try_into().unwrap()));
-        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()); // lint:allow(unwrap)
         if len > MAX_RECORD_LEN {
             return Err(Error::corruption(format!(
                 "log record at offset {} claims {} bytes",

@@ -168,6 +168,9 @@ pub fn run_execution(
     substations: usize,
     total_kvps: u64,
 ) -> ExecutionMetrics {
+    // lint:allow(unwrap) invalid parameters are a harness bug; fail fast
+    // alongside the asserts below rather than threading a Result through
+    // every simulation entry point.
     params.validate().expect("invalid model parameters");
     assert!(substations > 0, "need at least one substation");
     assert!(total_kvps > 0, "need kvps to ingest");
@@ -240,12 +243,14 @@ pub fn run_execution(
     sim.run();
 
     let world = &mut sim.state;
-    let elapsed = world
+    let finish_times: Vec<SimTime> = world
         .drivers
         .iter()
+        // lint:allow(unwrap) sim.run() drains the event queue, so every
+        // driver has a finish time; missing is a model bug worth crashing on.
         .map(|d| d.finished.expect("all drivers finished"))
-        .max()
-        .unwrap_or(SimTime::ZERO);
+        .collect();
+    let elapsed = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
     let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
     let mean_u = world
         .nodes
@@ -257,11 +262,7 @@ pub fn run_execution(
     ExecutionMetrics {
         elapsed_secs,
         ingested: world.total_ingested,
-        driver_ingest_secs: world
-            .drivers
-            .iter()
-            .map(|d| d.finished.unwrap().as_secs_f64())
-            .collect(),
+        driver_ingest_secs: finish_times.iter().map(|t| t.as_secs_f64()).collect(),
         query_latency_us: world.query_latency_us.clone(),
         rows_per_query: world.rows_per_query,
         mean_node_utilisation: mean_u,
@@ -378,7 +379,9 @@ fn maybe_start_service(sim: &mut Sim<World>, node: usize) {
         if !jobs.is_empty() && kvps + job.kvps > MAX_GROUP_KVPS {
             break;
         }
-        let job = n.queue.pop_front().expect("front checked");
+        let Some(job) = n.queue.pop_front() else {
+            break;
+        };
         kvps += job.kvps;
         n.queued_kvps -= job.kvps;
         jobs.push(job);

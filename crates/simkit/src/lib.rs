@@ -23,6 +23,7 @@
 
 pub mod rng;
 pub mod stats;
+pub mod sync;
 mod time;
 
 pub use time::{SimDuration, SimTime};

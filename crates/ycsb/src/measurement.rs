@@ -1,7 +1,7 @@
 //! Per-operation latency and throughput measurement.
 
-use parking_lot::Mutex;
 use simkit::stats::{Histogram, Summary};
+use simkit::sync::Mutex;
 use std::time::Instant;
 
 /// The YCSB operation taxonomy (TPCx-IoT uses `Insert` for ingestion and

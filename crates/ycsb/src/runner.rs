@@ -100,7 +100,7 @@ impl Runner {
                 }));
             }
             for h in handles {
-                failures += h.join().expect("load thread panicked");
+                failures += h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
             }
         });
         let elapsed = started.elapsed();
@@ -156,7 +156,7 @@ impl Runner {
                 }));
             }
             for h in handles {
-                failures += h.join().expect("run thread panicked");
+                failures += h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
             }
         });
         let elapsed = started.elapsed();

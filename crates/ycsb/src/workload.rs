@@ -8,9 +8,8 @@ use crate::generator::{
 use crate::measurement::OpKind;
 use crate::store::{FieldMap, KvStore, StoreResult};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use simkit::rng::Stream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use simkit::sync::{AtomicU64, Mutex, Ordering};
 
 /// How transaction keys are chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -237,6 +236,9 @@ impl CoreWorkload {
     /// Chooses a key number for a transaction, never exceeding the highest
     /// acknowledged insert.
     fn next_keynum(&self, rng: &mut Stream) -> u64 {
+        // ordering: Acquire — pairs with the Release half of the AcqRel
+        // fetch_max in the insert path: a keynum at or below `max` must have
+        // a completed (store-acknowledged) insert behind it.
         let max = self.acknowledged.load(Ordering::Acquire);
         let mut chooser = self.key_chooser.lock();
         let num = match &mut *chooser {
@@ -276,9 +278,17 @@ impl CoreWorkload {
                 store.update(&self.config.table, &key, &values).is_ok()
             }
             OpKind::Insert => {
-                let keynum = self.key_sequence.fetch_add(1, Ordering::AcqRel);
+                // ordering: Relaxed — pure id allocation: uniqueness comes
+                // from the RMW itself, and nothing is published until the
+                // insert completes and `acknowledged` advances below.
+                // (Downgraded from AcqRel; race-check insert model passes —
+                // see EXPERIMENTS.md.)
+                let keynum = self.key_sequence.fetch_add(1, Ordering::Relaxed);
                 let result = self.insert_record(store, rng, keynum);
                 if result.is_ok() {
+                    // ordering: AcqRel — the Release half publishes the
+                    // completed insert to next_keynum()'s Acquire load; the
+                    // Acquire half keeps concurrent fetch_max calls ordered.
                     self.acknowledged.fetch_max(keynum, Ordering::AcqRel);
                 }
                 result.is_ok()

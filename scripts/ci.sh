@@ -24,9 +24,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --workspace --release
 
+echo "== workspace analyzer =="
+cargo run --release -q -p analyzer -- check
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "== cargo test =="
     cargo test --workspace --release -q
+
+    echo "== race-check models (loom-lite) =="
+    cargo clippy -p simkit -p tpcx-iot --features race-check --all-targets -- -D warnings
+    cargo test -q -p simkit --features race-check
+    cargo test -q -p tpcx-iot --features race-check --test race_check
 
     echo "== golden snapshots =="
     cargo test --release -q -p tpcx-iot --test golden_snapshot

@@ -1,0 +1,302 @@
+//! Deterministic race-check models for the workspace's lock-free hot paths.
+//!
+//! Compiled only with `--features race-check` (see `[[test]]` in
+//! `crates/core/Cargo.toml`): the feature swaps `simkit::sync` to the
+//! instrumented loom-lite wrappers across the whole dependency graph, so
+//! the *real* telemetry / memtable types run under the schedule explorer.
+//!
+//! Each model explores >= 1000 seeded interleavings (CI gate). Models must
+//! stay closed: every thread that touches instrumented state is registered
+//! with the [`simkit::sync::model::Explorer`]; background OS threads (e.g.
+//! iotkv's commit thread) bypass instrumentation, so none are used here.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p tpcx-iot --features race-check --test race_check
+//! ```
+
+use std::sync::Arc;
+
+use iotkv::memtable::MemTable;
+use iotkv::ValueKind;
+use simkit::sync::model::Explorer;
+use simkit::sync::{AtomicU64, Ordering};
+use tpcx_iot::telemetry::{Phase, RunTelemetry};
+
+/// Interleavings per model. The CI acceptance floor is 1000; the explorer
+/// is cheap enough that we run exactly that.
+const SCHEDULES: u64 = 1000;
+
+/// Two worker threads fold private recorders into the shared
+/// `RunTelemetry` mutex concurrently while a third thread snapshots
+/// mid-run. The after-check asserts no samples are lost or duplicated:
+/// merged histogram counts must equal the sum of per-thread records.
+#[test]
+fn telemetry_absorb_merge_is_race_free() {
+    let report = Explorer::new(0x7e1e_5eed, SCHEDULES).explore(|m| {
+        let telemetry = Arc::new(RunTelemetry::new(Phase::Measured, 1_000_000_000));
+
+        let t1 = Arc::clone(&telemetry);
+        m.thread(move || {
+            let mut rec = t1.recorder();
+            rec.record_ingest(10, 1_000, 0);
+            rec.record_ingest(20, 2_000, 1);
+            rec.record_batch(30, 5_000, 8, 0);
+            t1.absorb(&rec);
+        });
+
+        let t2 = Arc::clone(&telemetry);
+        m.thread(move || {
+            let mut rec = t2.recorder();
+            rec.record_query(15, 3_000, 0);
+            rec.record_scan(25, 4_000, 12);
+            rec.record_failed(9_000);
+            t2.absorb(&rec);
+        });
+
+        let t3 = Arc::clone(&telemetry);
+        m.thread(move || {
+            // A mid-run snapshot must see a consistent prefix of the
+            // absorbed recorders, never torn state; the lock discipline
+            // is what the explorer is exercising here.
+            let snap = t3.snapshot();
+            assert!(snap.ingest.count <= 2);
+            assert!(snap.query.count <= 1);
+        });
+
+        m.after(move || {
+            let snap = telemetry.snapshot();
+            assert_eq!(snap.ingest.count, 2, "ingest samples lost in merge");
+            assert_eq!(snap.batch.count, 1, "batch samples lost in merge");
+            assert_eq!(snap.query.count, 1, "query samples lost in merge");
+            assert_eq!(snap.scan.count, 1, "scan samples lost in merge");
+            assert_eq!(snap.retry.count, 1, "retry samples lost in merge");
+            assert_eq!(snap.failed.count, 1, "failed samples lost in merge");
+            // record_batch credits `fill` kvps to the ingest series:
+            // 2 singleton ingests + one 8-kvp flush, all in window 0.
+            assert_eq!(snap.ingest_windows.first().copied(), Some(10));
+        });
+    });
+
+    assert!(report.schedules >= SCHEDULES);
+    assert!(report.choice_points > 0, "model never hit a choice point");
+    assert!(
+        report.is_race_free(),
+        "telemetry merge raced: {:?}",
+        report.races
+    );
+}
+
+/// Two writers insert disjoint key ranges into the real `MemTable`
+/// (RwLock-over-BTreeMap behind `simkit::sync`) while a reader does
+/// point lookups and size estimates mid-insert. The after-check asserts
+/// every insert is visible at the max snapshot.
+#[test]
+fn memtable_concurrent_insert_scan_is_race_free() {
+    let report = Explorer::new(0x3e3_7ab1e, SCHEDULES).explore(|m| {
+        let table = Arc::new(MemTable::new());
+
+        let w1 = Arc::clone(&table);
+        m.thread(move || {
+            for i in 0u64..4 {
+                let key = format!("a{i}");
+                // Odd sequence numbers keep the two writers' internal
+                // keys disjoint even if user keys ever collided.
+                w1.add(key.as_bytes(), 1 + 2 * i, ValueKind::Put, b"va");
+            }
+        });
+
+        let w2 = Arc::clone(&table);
+        m.thread(move || {
+            for i in 0u64..4 {
+                let key = format!("b{i}");
+                w2.add(key.as_bytes(), 2 + 2 * i, ValueKind::Put, b"vb");
+            }
+        });
+
+        let r = Arc::clone(&table);
+        m.thread(move || {
+            // Mid-insert reads: each key is either absent or fully
+            // written, never torn.
+            for i in 0u64..4 {
+                let key = format!("a{i}");
+                if let Some(found) = r.get(key.as_bytes(), u64::MAX) {
+                    assert_eq!(found.as_deref(), Some(&b"va"[..]));
+                }
+            }
+            let _ = r.approximate_bytes();
+            let _ = r.len();
+        });
+
+        m.after(move || {
+            assert_eq!(table.len(), 8, "memtable lost inserts");
+            for i in 0u64..4 {
+                for (prefix, value) in [("a", &b"va"[..]), ("b", &b"vb"[..])] {
+                    let key = format!("{prefix}{i}");
+                    let found = table
+                        .get(key.as_bytes(), u64::MAX)
+                        .unwrap_or_else(|| panic!("key {key} missing after join"));
+                    assert_eq!(found.as_deref(), Some(value));
+                }
+            }
+            assert!(table.approximate_bytes() > 0);
+        });
+    });
+
+    assert!(report.schedules >= SCHEDULES);
+    assert!(report.choice_points > 0, "model never hit a choice point");
+    assert!(report.is_race_free(), "memtable raced: {:?}", report.races);
+}
+
+/// Closed model of the cluster put-path counter discipline
+/// (`gateway::cluster`): each put bumps its node's write counter and
+/// *then* the cluster-wide replica counter, both with Release; the
+/// stats reader loads the replica total first with Acquire. Under that
+/// discipline the invariant `sum(node_writes) >= replica_writes` holds
+/// in every interleaving, which is what licenses the Relaxed/monotone
+/// counters elsewhere in the cluster stats path.
+#[test]
+fn cluster_replica_counter_discipline_holds() {
+    let report = Explorer::new(0xc105_7e12, SCHEDULES).explore(|m| {
+        let node0 = Arc::new(AtomicU64::new(0));
+        let node1 = Arc::new(AtomicU64::new(0));
+        let replica = Arc::new(AtomicU64::new(0));
+
+        let (n0, rep0) = (Arc::clone(&node0), Arc::clone(&replica));
+        m.thread(move || {
+            for _ in 0..3 {
+                // ordering: Release publishes the node bump before the
+                // replica total the reader anchors on.
+                n0.fetch_add(1, Ordering::Release);
+                replica_bump(&rep0);
+            }
+        });
+
+        let (n1, rep1) = (Arc::clone(&node1), Arc::clone(&replica));
+        m.thread(move || {
+            for _ in 0..3 {
+                // ordering: Release, same discipline as the other node.
+                n1.fetch_add(1, Ordering::Release);
+                replica_bump(&rep1);
+            }
+        });
+
+        let (r0, r1, rep) = (Arc::clone(&node0), Arc::clone(&node1), Arc::clone(&replica));
+        m.thread(move || {
+            for _ in 0..4 {
+                // ordering: Acquire on the replica total first; the
+                // node loads that follow are then guaranteed to see at
+                // least the bumps that preceded each counted replica
+                // write, so the sum can never undercount the total.
+                let total = rep.load(Ordering::Acquire);
+                // ordering: Acquire pairs with the nodes' Release bumps.
+                let sum = r0.load(Ordering::Acquire) + r1.load(Ordering::Acquire);
+                assert!(
+                    sum >= total,
+                    "node sum {sum} undercounts replica total {total}"
+                );
+            }
+        });
+
+        m.after(move || {
+            // ordering: post-join, Relaxed is sufficient — the explorer
+            // has already joined every model thread.
+            let total = replica.load(Ordering::Relaxed);
+            let sum = node0.load(Ordering::Relaxed) + node1.load(Ordering::Relaxed);
+            assert_eq!(total, 6);
+            assert_eq!(sum, 6);
+        });
+    });
+
+    assert!(report.schedules >= SCHEDULES);
+    assert!(report.choice_points > 0, "model never hit a choice point");
+    assert!(
+        report.is_race_free(),
+        "cluster counter model raced: {:?}",
+        report.races
+    );
+}
+
+/// ordering: Release publishes the preceding node-counter bump to the
+/// reader's Acquire load of the replica total.
+fn replica_bump(replica: &AtomicU64) {
+    replica.fetch_add(1, Ordering::Release);
+}
+
+/// Model of the ycsb insert-key allocator after the AcqRel -> Relaxed
+/// downgrade of `key_sequence` (see EXPERIMENTS.md): id allocation is
+/// pure `fetch_add` uniqueness — no payload is published through the
+/// counter itself. Each inserter writes the payload slot its allocated
+/// id names; if Relaxed `fetch_add` could ever hand out a duplicate id,
+/// two threads would hit the same unsynchronized slot and the detector
+/// would flag a write-write race. Completed-insert visibility still
+/// flows through `acknowledged` (fetch_max AcqRel), as in the real
+/// workload, and is exercised by the concurrent watermark reader.
+#[test]
+fn ycsb_insert_ack_downgrade_is_race_free() {
+    use simkit::sync::RaceCell;
+
+    let report = Explorer::new(0x5e9_4110c, SCHEDULES).explore(|m| {
+        let key_sequence = Arc::new(AtomicU64::new(0));
+        let acknowledged = Arc::new(AtomicU64::new(0));
+        let slots: Arc<Vec<RaceCell<u64>>> =
+            Arc::new((0..4).map(|_| RaceCell::named("insert-slot", 0)).collect());
+
+        for _ in 0..2 {
+            let seq = Arc::clone(&key_sequence);
+            let ack = Arc::clone(&acknowledged);
+            let sl = Arc::clone(&slots);
+            m.thread(move || {
+                for _ in 0..2 {
+                    // ordering: Relaxed — pure id allocation, no payload
+                    // is published through this counter (the downgrade
+                    // under test).
+                    let id = seq.fetch_add(1, Ordering::Relaxed);
+                    sl[id as usize].set(id + 100);
+                    // ordering: Release half publishes the slot write
+                    // under the watermark; Acquire half keeps fetch_max
+                    // monotone across racing inserters.
+                    ack.fetch_max(id + 1, Ordering::AcqRel);
+                }
+            });
+        }
+
+        let ack = Arc::clone(&acknowledged);
+        let seq = Arc::clone(&key_sequence);
+        m.thread(move || {
+            // The watermark can ack id N while a *different* inserter's
+            // lower id is still in flight (fetch_max admits holes), so a
+            // concurrent reader must not dereference slots — it observes
+            // only the atomics, exactly like the real `next_keynum`.
+            // ordering: Acquire pairs with the inserters' AcqRel ack.
+            let acked = ack.load(Ordering::Acquire);
+            assert!(acked <= 4, "watermark overran the id space: {acked}");
+            // ordering: Relaxed — monotone allocation counter, bounds
+            // check only.
+            assert!(seq.load(Ordering::Relaxed) <= 4);
+        });
+
+        m.after(move || {
+            // ordering: post-join reads; every id was allocated exactly
+            // once (unique slots, checked below) and acked.
+            assert_eq!(key_sequence.load(Ordering::Relaxed), 4);
+            assert_eq!(acknowledged.load(Ordering::Relaxed), 4);
+            for id in 0..4u64 {
+                assert_eq!(
+                    slots[id as usize].get(),
+                    id + 100,
+                    "slot {id} written zero or multiple times"
+                );
+            }
+        });
+    });
+
+    assert!(report.schedules >= SCHEDULES);
+    assert!(report.choice_points > 0, "model never hit a choice point");
+    assert!(
+        report.is_race_free(),
+        "insert ack model raced: {:?}",
+        report.races
+    );
+}
