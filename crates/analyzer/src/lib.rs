@@ -3,7 +3,7 @@
 //!
 //! The analyzer walks `crates/*/src` and the top-level `tests/` directory
 //! (fixtures under `crates/analyzer/fixtures/` are deliberately outside
-//! both) and enforces five rules:
+//! both) and enforces six rules:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` / `panic!` outside test
 //!   scopes and bench bins.
@@ -15,9 +15,13 @@
 //!   `op="…"` labels in the golden Prometheus snapshot.
 //! * `error-exhaustive` — no `_ =>` catch-all in matches over
 //!   `ErrorKind`.
+//! * `region-map` — `RegionMap` mutations (the `regions` write lock and
+//!   the `split_at` / `rebalance` / `swap_replica` / `shed_replica`
+//!   mutators) stay inside `gateway::topology`, the epoch-fenced
+//!   reconfiguration module.
 //!
 //! Suppress a finding with `// lint:allow(rule-name)` on the offending
-//! line or the line directly above. See `DESIGN.md` §10 for the full
+//! line or the line directly above. See `DESIGN.md` §11 for the full
 //! contracts and rationale.
 
 use std::fmt;
@@ -110,6 +114,16 @@ pub fn ordering_rule_applies(rel: &str) -> bool {
     !rel.starts_with("tests/")
 }
 
+/// Whether the `region-map` rule covers `rel`: all of the gateway crate
+/// except the module that defines `RegionMap` (`region.rs`, whose own
+/// methods and tests must mutate it) and the one sanctioned mutation
+/// site (`topology.rs`, which owns the epoch-fence protocol).
+pub fn region_map_rule_applies(rel: &str) -> bool {
+    rel.starts_with("crates/gateway/src/")
+        && rel != "crates/gateway/src/region.rs"
+        && rel != "crates/gateway/src/topology.rs"
+}
+
 /// Runs every rule over the workspace rooted at `root`.
 /// Walks `crates/*/src/**/*.rs` and `tests/**/*.rs`; the `metrics-sync`
 /// rule additionally pairs `crates/core/src/telemetry.rs` with
@@ -129,6 +143,9 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
         }
         if ordering_rule_applies(&rel) {
             rules::check_ordering(&view, &rel, &mut findings);
+        }
+        if region_map_rule_applies(&rel) {
+            rules::check_region_map(&view, &rel, &mut findings);
         }
         rules::check_error_exhaustive(&view, &rel, &mut findings);
     }

@@ -62,17 +62,18 @@ fn main() -> ExitCode {
     }
 }
 
-const RULES: [&str; 5] = [
+const RULES: [&str; 6] = [
     "unwrap",
     "wall-clock",
     "ordering",
     "metrics-sync",
     "error-exhaustive",
+    "region-map",
 ];
 
 const USAGE: &str = "usage: analyzer check [--json] [--root DIR]\n\
                      \n\
                      Lints crates/*/src and tests/ under DIR (default: .).\n\
                      Rules: unwrap, wall-clock, ordering, metrics-sync,\n\
-                     error-exhaustive. Suppress per line with\n\
-                     `// lint:allow(rule)`. See DESIGN.md section 10.";
+                     error-exhaustive, region-map. Suppress per line with\n\
+                     `// lint:allow(rule)`. See DESIGN.md section 11.";

@@ -271,6 +271,44 @@ pub fn check_error_exhaustive(view: &FileView, file: &str, out: &mut Vec<Finding
     }
 }
 
+/// `region-map`: every `RegionMap` mutation — taking the `regions` write
+/// lock or calling a mutator (`split_at`, `rebalance`, `swap_replica`,
+/// `shed_replica`) — must live in `gateway::topology`, the one module
+/// whose job is online reconfiguration. Anywhere else a mutation bypasses
+/// the epoch-fence protocol and can strand in-flight writes on a stale
+/// route. Which files the rule covers is decided by
+/// [`crate::region_map_rule_applies`].
+pub fn check_region_map(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "region-map";
+    const NEEDLES: [&str; 5] = [
+        "regions.write()",
+        ".split_at(",
+        ".rebalance(",
+        ".swap_replica(",
+        ".shed_replica(",
+    ];
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) || view.suppressed(idx, RULE) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if line.code.contains(needle) {
+                out.push(Finding::new(
+                    RULE,
+                    file,
+                    idx + 1,
+                    format!(
+                        "`{needle}` outside `gateway::topology`; RegionMap \
+                         mutations must go through the topology module so the \
+                         epoch fence sees them"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
 /// `metrics-sync`: the `OpClass::name()` strings in
 /// `crates/core/src/telemetry.rs` and the `op="…"` labels in the golden
 /// Prometheus snapshot must be the same set.
@@ -442,6 +480,37 @@ mod tests {
                        }\n\
                    }\n";
         assert!(findings_for(src, check_error_exhaustive).is_empty());
+    }
+
+    #[test]
+    fn region_map_flags_mutations_outside_tests() {
+        let src = "fn route(&self) {\n\
+                       let mut map = self.regions.write();\n\
+                       map.swap_replica(0, 1, 2);\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { map.split_at(b\"m\"); }\n\
+                   }\n";
+        let out = findings_for(src, check_region_map);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
+    }
+
+    #[test]
+    fn region_map_suppressed_by_allow() {
+        let src = "fn parse(d: &[u8]) {\n\
+                       // lint:allow(region-map) slice::split_at, not RegionMap\n\
+                       let (a, b) = d.split_at(4);\n\
+                   }\n";
+        assert!(findings_for(src, check_region_map).is_empty());
+    }
+
+    #[test]
+    fn region_map_ignores_reads() {
+        let src = "fn stats(&self) { let map = self.regions.read(); map.regions(); }\n";
+        assert!(findings_for(src, check_region_map).is_empty());
     }
 
     #[test]

@@ -85,6 +85,21 @@ pub struct ResilienceCounters {
     /// Mid-stream failovers: a scan resumed on another replica from the
     /// successor of the last yielded key.
     pub scan_resumes: u64,
+    /// Region splits executed online (planned events, explicit calls,
+    /// or write-rate threshold triggers).
+    pub splits: u64,
+    /// Node drains executed online.
+    pub drains: u64,
+    /// Replica migrations registered (snapshot copy + catch-up delta).
+    pub migrations_started: u64,
+    /// Migrations whose replica swap was published.
+    pub migrations_completed: u64,
+    /// Migrations abandoned (dead destination, no live source, storage
+    /// error mid-copy) — the old replica set kept serving.
+    pub migrations_aborted: u64,
+    /// Writes that detected a stale routing epoch after replication and
+    /// re-wrote against the new replica set.
+    pub stale_route_retries: u64,
 }
 
 impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
@@ -97,6 +112,12 @@ impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
             unavailable_errors: r.unavailable_errors,
             scan_retries: r.scan_retries,
             scan_resumes: r.scan_resumes,
+            splits: r.splits,
+            drains: r.drains,
+            migrations_started: r.migrations_started,
+            migrations_completed: r.migrations_completed,
+            migrations_aborted: r.migrations_aborted,
+            stale_route_retries: r.stale_route_retries,
         }
     }
 }

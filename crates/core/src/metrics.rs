@@ -172,6 +172,30 @@ pub fn apply_sustained_rate(
     ));
 }
 
+/// Folds the online-reconfiguration outcome into a run verdict: a
+/// routing table left inconsistent by a split, migration, or drain
+/// (dangling node references, drained nodes still routed, broken range
+/// coverage) invalidates the run even when every individual operation
+/// succeeded — acknowledged data behind a corrupt route is lost data.
+pub fn apply_topology_check(
+    validity: &mut RunValidity,
+    cluster: Option<&crate::telemetry::ClusterCounters>,
+) {
+    let Some(c) = cluster else {
+        return;
+    };
+    if c.topology_ok {
+        return;
+    }
+    validity.valid = false;
+    validity.reasons.push(format!(
+        "topology corruption: routing table inconsistent after online \
+         reconfiguration (epoch {}, {} split(s), {} migration(s) completed, \
+         {} drain(s))",
+        c.epoch, c.splits, c.migrations_completed, c.drains,
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +285,36 @@ mod tests {
         assert!(!v.valid);
         assert!(v.reasons[0].contains("sustained-rate violation"));
         assert!(v.reasons[0].contains("window 4"), "worst window named");
+    }
+
+    #[test]
+    fn topology_corruption_invalidates() {
+        use crate::telemetry::ClusterCounters;
+        let mut v = degraded_run_verdict(1000, 1000, 25.0, 20.0);
+        apply_topology_check(&mut v, None);
+        assert!(v.valid, "no cluster sample leaves the verdict untouched");
+        let healthy = ClusterCounters {
+            topology_ok: true,
+            epoch: 4,
+            ..Default::default()
+        };
+        apply_topology_check(&mut v, Some(&healthy));
+        assert!(
+            v.valid,
+            "a consistent topology leaves the verdict untouched"
+        );
+        let corrupt = ClusterCounters {
+            topology_ok: false,
+            epoch: 4,
+            splits: 1,
+            migrations_completed: 2,
+            drains: 1,
+            ..Default::default()
+        };
+        apply_topology_check(&mut v, Some(&corrupt));
+        assert!(!v.valid);
+        assert!(v.reasons[0].contains("topology corruption"));
+        assert!(v.reasons[0].contains("epoch 4"));
     }
 
     #[test]

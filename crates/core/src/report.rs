@@ -127,6 +127,20 @@ pub fn full_disclosure_report(
                 r.backend.scan_resumes,
             );
         }
+        let b = &r.backend;
+        if b.splits + b.drains + b.migrations_started + b.stale_route_retries > 0 {
+            let _ = writeln!(
+                out,
+                "topology: {} splits, {} drains; migrations {} started / \
+                 {} completed / {} aborted; {} stale-route retries",
+                b.splits,
+                b.drains,
+                b.migrations_started,
+                b.migrations_completed,
+                b.migrations_aborted,
+                b.stale_route_retries,
+            );
+        }
         if let Some(e) = &it.engine {
             let lookups = e.cache_hits + e.cache_misses;
             let _ = writeln!(
@@ -205,6 +219,22 @@ pub fn full_disclosure_report(
                 out,
                 "streamed scans: {} rows in {} scans ({} mid-scan failovers)",
                 c.rows_streamed, c.scans, c.scan_resumes,
+            );
+        }
+        if c.splits + c.drains + c.migrations_started > 0 {
+            let _ = writeln!(
+                out,
+                "online reconfiguration: {} splits, {} drains, {} migrations \
+                 completed at epoch {} (topology {})",
+                c.splits,
+                c.drains,
+                c.migrations_completed,
+                c.epoch,
+                if c.topology_ok {
+                    "consistent"
+                } else {
+                    "CORRUPT"
+                },
             );
         }
     }

@@ -6,8 +6,8 @@ use crate::backend::{GatewayBackend, ResilienceCounters};
 use crate::checks::{data_check, file_check, replication_check, CheckResult, KitManifest};
 use crate::driver::{run_driver_with_telemetry, DriverConfig, DriverReport};
 use crate::metrics::{
-    apply_sustained_rate, degraded_run_verdict, BenchmarkMetrics, MeasuredRun, ResilienceSummary,
-    RunValidity,
+    apply_sustained_rate, apply_topology_check, degraded_run_verdict, BenchmarkMetrics,
+    MeasuredRun, ResilienceSummary, RunValidity,
 };
 use crate::pricing::PriceSheet;
 use crate::retry::RetryPolicy;
@@ -322,6 +322,9 @@ impl BenchmarkRunner {
             // them along with the data.
             let engine = sut.engine_counters();
             let cluster = sut.cluster_counters();
+            // An inconsistent routing table after online splits,
+            // migrations, or drains invalidates the iteration.
+            apply_topology_check(&mut validity, cluster.as_ref());
             iterations.push(IterationOutcome {
                 warmup,
                 measured,

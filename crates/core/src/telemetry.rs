@@ -441,6 +441,25 @@ pub struct ClusterCounters {
     pub scan_retries: u64,
     /// Mid-stream scan failovers (resumed on another replica).
     pub scan_resumes: u64,
+    /// Online region splits executed during the run.
+    pub splits: u64,
+    /// Online node drains executed during the run.
+    pub drains: u64,
+    /// Replica migrations registered.
+    pub migrations_started: u64,
+    /// Migrations whose replica swap was published.
+    pub migrations_completed: u64,
+    /// Migrations abandoned with the old replica set kept serving.
+    pub migrations_aborted: u64,
+    /// Writes that re-ran against a newer routing epoch after detecting
+    /// a stale route.
+    pub stale_route_retries: u64,
+    /// Routing-table version at sample time (bumped by every topology
+    /// mutation).
+    pub epoch: u64,
+    /// Whether the routing table was consistent at sample time; folded
+    /// into the run verdict.
+    pub topology_ok: bool,
 }
 
 impl From<&gateway::ClusterStats> for ClusterCounters {
@@ -463,6 +482,14 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
             unavailable_errors: s.resilience.unavailable_errors,
             scan_retries: s.resilience.scan_retries,
             scan_resumes: s.resilience.scan_resumes,
+            splits: s.resilience.splits,
+            drains: s.resilience.drains,
+            migrations_started: s.resilience.migrations_started,
+            migrations_completed: s.resilience.migrations_completed,
+            migrations_aborted: s.resilience.migrations_aborted,
+            stale_route_retries: s.resilience.stale_route_retries,
+            epoch: s.epoch,
+            topology_ok: s.topology_ok,
         }
     }
 }
@@ -506,6 +533,16 @@ impl ClusterCounters {
         self.unavailable_errors += other.unavailable_errors;
         self.scan_retries += other.scan_retries;
         self.scan_resumes += other.scan_resumes;
+        self.splits += other.splits;
+        self.drains += other.drains;
+        self.migrations_started += other.migrations_started;
+        self.migrations_completed += other.migrations_completed;
+        self.migrations_aborted += other.migrations_aborted;
+        self.stale_route_retries += other.stale_route_retries;
+        // The merged epoch is the furthest routing version any sample
+        // saw; consistency must have held in *every* sample.
+        self.epoch = self.epoch.max(other.epoch);
+        self.topology_ok = self.topology_ok && other.topology_ok;
     }
 }
 
@@ -663,7 +700,10 @@ impl MetricsRegistry {
                     ", \"failover_reads\": {}, \"under_replicated_writes\": {}, \
                      \"hinted_writes\": {}, \"replayed_hints\": {}, \
                      \"unavailable_errors\": {}, \"scan_retries\": {}, \
-                     \"scan_resumes\": {}}}",
+                     \"scan_resumes\": {}, \"splits\": {}, \"drains\": {}, \
+                     \"migrations_started\": {}, \"migrations_completed\": {}, \
+                     \"migrations_aborted\": {}, \"stale_route_retries\": {}, \
+                     \"epoch\": {}, \"topology_ok\": {}}}",
                     c.failover_reads,
                     c.under_replicated_writes,
                     c.hinted_writes,
@@ -671,6 +711,14 @@ impl MetricsRegistry {
                     c.unavailable_errors,
                     c.scan_retries,
                     c.scan_resumes,
+                    c.splits,
+                    c.drains,
+                    c.migrations_started,
+                    c.migrations_completed,
+                    c.migrations_aborted,
+                    c.stale_route_retries,
+                    c.epoch,
+                    c.topology_ok,
                 );
             }
         }
@@ -779,11 +827,25 @@ impl MetricsRegistry {
                 ("unavailable_errors", c.unavailable_errors),
                 ("scan_retries", c.scan_retries),
                 ("scan_resumes", c.scan_resumes),
+                ("splits", c.splits),
+                ("drains", c.drains),
+                ("migrations_started", c.migrations_started),
+                ("migrations_completed", c.migrations_completed),
+                ("migrations_aborted", c.migrations_aborted),
+                ("stale_route_retries", c.stale_route_retries),
             ] {
                 let _ = writeln!(out, "tpcx_iot_cluster{{counter=\"{name}\"}} {v}");
             }
             out.push_str("# TYPE tpcx_iot_cluster_batch_fill gauge\n");
             let _ = writeln!(out, "tpcx_iot_cluster_batch_fill {}", c.batch_fill());
+            out.push_str("# TYPE tpcx_iot_cluster_epoch gauge\n");
+            let _ = writeln!(out, "tpcx_iot_cluster_epoch {}", c.epoch);
+            out.push_str("# TYPE tpcx_iot_cluster_topology_ok gauge\n");
+            let _ = writeln!(
+                out,
+                "tpcx_iot_cluster_topology_ok {}",
+                u64::from(c.topology_ok)
+            );
             for (node, w) in c.node_writes.iter().enumerate() {
                 let _ = writeln!(out, "tpcx_iot_cluster_node_writes{{node=\"{node}\"}} {w}");
             }
@@ -1052,6 +1114,7 @@ mod tests {
             puts: 100,
             node_writes: vec![40, 30, 30],
             node_reads: vec![1, 0, 0],
+            topology_ok: true,
             ..Default::default()
         });
         registry.verdict = "VALID".into();
@@ -1159,6 +1222,8 @@ mod tests {
         assert!(a.contains("\"ingest_windows\""));
         assert!(a.contains("\"scan_rows_windows\": [42]"));
         assert!(a.contains("\"scan_retries\": 0"));
+        assert!(a.contains("\"epoch\": 0"));
+        assert!(a.contains("\"topology_ok\": true"));
         assert!(a.contains("\"p999\""));
         assert!(a.contains("\"wal_syncs\": 7"));
         assert!(a.contains("\"verdict\": \"VALID\""));
@@ -1173,7 +1238,39 @@ mod tests {
             "tpcx_iot_latency_nanos{run=\"iter1/measured\",op=\"ingest\",quantile=\"0.999\"}"
         ));
         assert!(prom.contains("tpcx_iot_engine{counter=\"wal_syncs\"} 7"));
+        assert!(prom.contains("tpcx_iot_cluster{counter=\"migrations_completed\"} 0"));
+        assert!(prom.contains("tpcx_iot_cluster_epoch 0"));
+        assert!(prom.contains("tpcx_iot_cluster_topology_ok 1"));
         assert!(prom.contains("tpcx_iot_run_valid 1"));
+    }
+
+    #[test]
+    fn cluster_merge_tracks_epoch_and_topology_health() {
+        let mut a = ClusterCounters {
+            epoch: 3,
+            topology_ok: true,
+            splits: 1,
+            stale_route_retries: 2,
+            ..Default::default()
+        };
+        a.merge(&ClusterCounters {
+            epoch: 7,
+            topology_ok: true,
+            splits: 2,
+            stale_route_retries: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.epoch, 7, "epoch merges as max, not sum");
+        assert_eq!(a.splits, 3);
+        assert_eq!(a.stale_route_retries, 3);
+        assert!(a.topology_ok);
+        a.merge(&ClusterCounters {
+            epoch: 5,
+            topology_ok: false,
+            ..Default::default()
+        });
+        assert_eq!(a.epoch, 7);
+        assert!(!a.topology_ok, "one bad sample poisons the merge");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::fault::{FaultPlan, FaultState, FaultVerdict};
 use crate::region::RegionMap;
+use crate::topology::{MigrationCtx, TopologyState};
 use crate::{GatewayError, Result};
 use bytes::Bytes;
 use iotkv::{Db, Options, WriteBatch};
@@ -68,12 +69,23 @@ impl ClusterConfig {
     }
 }
 
-struct Node {
-    db: Db,
-    writes: AtomicU64,
-    reads: AtomicU64,
+pub(crate) struct Node {
+    pub(crate) db: Db,
+    pub(crate) writes: AtomicU64,
+    pub(crate) reads: AtomicU64,
     /// Writes the node missed while down, replayed on restart.
-    hints: Mutex<Vec<(Vec<u8>, Vec<u8>)>>,
+    pub(crate) hints: Mutex<Vec<(Vec<u8>, Vec<u8>)>>,
+}
+
+impl Node {
+    pub(crate) fn new(db: Db) -> Node {
+        Node {
+            db,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            hints: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// Counters describing how the cluster degraded under faults.
@@ -96,6 +108,21 @@ pub struct ResilienceStats {
     /// Streaming scans that lost their node mid-stream and resumed on
     /// another replica from the last yielded key.
     pub scan_resumes: u64,
+    /// Region splits performed (planned events, explicit calls, and
+    /// write-rate-threshold triggers).
+    pub splits: u64,
+    /// Node drain events executed.
+    pub drains: u64,
+    /// Replica migrations begun (snapshot copy started).
+    pub migrations_started: u64,
+    /// Replica migrations finalized into the routing table.
+    pub migrations_completed: u64,
+    /// Replica migrations abandoned (destination died mid-copy, no live
+    /// source, or the region changed under the migration).
+    pub migrations_aborted: u64,
+    /// Writes that detected a topology-epoch change after landing and
+    /// re-wrote themselves against the new replica set.
+    pub stale_route_retries: u64,
 }
 
 /// Point-in-time cluster statistics.
@@ -117,6 +144,13 @@ pub struct ClusterStats {
     /// [`Cluster::scan_stream`]).
     pub rows_streamed: u64,
     pub regions: usize,
+    /// The routing-table version: bumped on every topology mutation
+    /// (split, migration finalize, rebalance, drain).
+    pub epoch: u64,
+    /// Topology consistency at snapshot time: the region map holds its
+    /// structural invariants, references only existing nodes, and no
+    /// drained node is still routed. Folded into the run verdict.
+    pub topology_ok: bool,
     /// Primary-write load per node.
     pub node_writes: Vec<u64>,
     pub node_reads: Vec<u64>,
@@ -139,10 +173,21 @@ pub struct ClusterStats {
 
 /// An in-process distributed gateway cluster.
 pub struct Cluster {
-    config: ClusterConfig,
-    nodes: Vec<Node>,
-    regions: RwLock<RegionMap>,
-    fault: Option<FaultState>,
+    pub(crate) config: ClusterConfig,
+    /// Node set behind a lock so scheduled `NodeAdd` events can grow the
+    /// cluster mid-run; each node is an `Arc` so in-flight cursors keep
+    /// their engine alive across the brief write-lock windows.
+    pub(crate) nodes: RwLock<Vec<Arc<Node>>>,
+    pub(crate) regions: RwLock<RegionMap>,
+    pub(crate) fault: Option<FaultState>,
+    /// Scheduled topology events and split-threshold trackers; `None`
+    /// when the plan schedules no reconfiguration.
+    pub(crate) topology: Option<TopologyState>,
+    /// Active migration contexts. Writers take the read side on every
+    /// fenced put: a writer that misses a context here is guaranteed —
+    /// by the lock's release/acquire edge — to have its replica writes
+    /// visible to the migration's later snapshot pin.
+    pub(crate) migrations: RwLock<Vec<Arc<MigrationCtx>>>,
     puts: AtomicU64,
     gets: AtomicU64,
     scans: AtomicU64,
@@ -157,23 +202,18 @@ pub struct Cluster {
     unavailable_errors: AtomicU64,
     scan_retries: AtomicU64,
     scan_resumes: AtomicU64,
+    pub(crate) splits: AtomicU64,
+    pub(crate) drains: AtomicU64,
+    pub(crate) migrations_started: AtomicU64,
+    pub(crate) migrations_completed: AtomicU64,
+    pub(crate) migrations_aborted: AtomicU64,
+    stale_route_retries: AtomicU64,
 }
 
 impl Cluster {
-    /// Starts a cluster: one storage engine per node, regions pre-split at
-    /// the configured split points and placed round-robin.
-    pub fn start(config: ClusterConfig) -> Result<Cluster> {
-        config.validate()?;
-        let mut nodes = Vec::with_capacity(config.nodes);
-        for i in 0..config.nodes {
-            let dir = config.data_dir.join(format!("node-{i}"));
-            nodes.push(Node {
-                db: Db::open(&dir, config.storage.clone())?,
-                writes: AtomicU64::new(0),
-                reads: AtomicU64::new(0),
-                hints: Mutex::new(Vec::new()),
-            });
-        }
+    /// The initial routing table for `config`: pre-split at the
+    /// configured points and placed round-robin, epoch 0.
+    pub(crate) fn initial_regions(config: &ClusterConfig) -> RegionMap {
         let replication = config.effective_replication();
         let node_count = config.nodes;
         let regions = if config.split_points.is_empty() {
@@ -187,15 +227,31 @@ impl Cluster {
             })
         };
         debug_assert!(regions.check_invariants().is_ok());
+        regions
+    }
+
+    /// Starts a cluster: one storage engine per node, regions pre-split at
+    /// the configured split points and placed round-robin.
+    pub fn start(config: ClusterConfig) -> Result<Cluster> {
+        config.validate()?;
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let dir = config.data_dir.join(format!("node-{i}"));
+            nodes.push(Arc::new(Node::new(Db::open(&dir, config.storage.clone())?)));
+        }
+        let regions = Self::initial_regions(&config);
         let fault = config
             .fault_plan
             .clone()
-            .map(|plan| FaultState::new(plan, node_count));
+            .map(|plan| FaultState::new(plan, config.nodes));
+        let topology = config.fault_plan.as_ref().and_then(TopologyState::new);
         Ok(Cluster {
             config,
-            nodes,
+            nodes: RwLock::new(nodes),
             regions: RwLock::new(regions),
             fault,
+            topology,
+            migrations: RwLock::new(Vec::new()),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             scans: AtomicU64::new(0),
@@ -210,35 +266,51 @@ impl Cluster {
             unavailable_errors: AtomicU64::new(0),
             scan_retries: AtomicU64::new(0),
             scan_resumes: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            migrations_started: AtomicU64::new(0),
+            migrations_completed: AtomicU64::new(0),
+            migrations_aborted: AtomicU64::new(0),
+            stale_route_retries: AtomicU64::new(0),
         })
     }
 
-    /// Advances the fault clock (no-op without a plan).
-    fn fault_tick(&self) -> u64 {
-        self.fault.as_ref().map_or(0, |f| f.tick())
+    /// Advances the fault clock (no-op without a plan) and fires any
+    /// topology event whose scheduled op has arrived.
+    pub(crate) fn fault_tick(&self) -> u64 {
+        let now = self.fault.as_ref().map_or(0, |f| f.tick());
+        self.run_due_topology(now);
+        now
     }
 
     /// Whether `node` refuses operations at fault-clock `now`.
-    fn node_down(&self, node: usize, now: u64) -> bool {
+    pub(crate) fn node_down(&self, node: usize, now: u64) -> bool {
         self.fault.as_ref().is_some_and(|f| f.node_down(node, now))
+    }
+
+    /// Cheap clone of one node's handle; callers never hold the node-set
+    /// lock across storage operations.
+    pub(crate) fn node(&self, idx: usize) -> Arc<Node> {
+        Arc::clone(&self.nodes.read()[idx])
     }
 
     /// Drains `node`'s hint queue into its storage engine if the node is
     /// up — called before any operation touches the node, so a restarted
     /// replica serves every write it was acknowledged for.
-    fn maybe_replay_hints(&self, node: usize, now: u64) {
+    pub(crate) fn maybe_replay_hints(&self, node: usize, now: u64) {
         if self.fault.is_none() || self.node_down(node, now) {
             return;
         }
-        let mut hints = self.nodes[node].hints.lock();
+        let n = self.node(node);
+        let mut hints = n.hints.lock();
         if hints.is_empty() {
             return;
         }
         for (k, v) in hints.drain(..) {
-            if self.nodes[node].db.put(&k, &v).is_ok() {
+            if n.db.put(&k, &v).is_ok() {
                 // ordering: Relaxed — statistics counters; reconciliation
                 // reads them through stats() snapshots only.
-                self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
+                n.writes.fetch_add(1, Ordering::Relaxed);
                 self.replayed_hints.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -255,7 +327,7 @@ impl Cluster {
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().len()
     }
 
     /// The replication factor actually applied to writes — what the
@@ -271,12 +343,21 @@ impl Cluster {
     /// least one replica is live. With every replica down — or when the
     /// fault plan injects a transient error — the put fails with
     /// [`GatewayError::Unavailable`] and nothing is acknowledged.
+    ///
+    /// Topology fencing: the route is captured with the region map's
+    /// epoch; after the replica writes land, the write records itself in
+    /// any active migration delta covering `key` and re-checks the epoch.
+    /// A bumped epoch means the replica set may have changed under the
+    /// write (split finalize, migration, drain) — the put re-writes to
+    /// any replica it has not reached yet instead of acking a row that
+    /// only lives on a node the new topology no longer routes.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        let replicas = {
-            let map = self.regions.read();
-            map.lookup(key).replicas.clone()
-        };
         let now = self.fault_tick();
+        let (epoch, region_id, replicas) = {
+            let map = self.regions.read();
+            let region = map.lookup(key);
+            (map.epoch(), region.id, region.replicas.clone())
+        };
         let mut live = Vec::with_capacity(replicas.len());
         let mut down = Vec::new();
         if let Some(fault) = &self.fault {
@@ -308,24 +389,104 @@ impl Cluster {
         // storage engine's own write path.
         let mut written = 0u64;
         for &node in &live {
-            if let Err(e) = self.nodes[node].db.put(key, value) {
+            let n = self.node(node);
+            if let Err(e) = n.db.put(key, value) {
                 self.replica_writes.fetch_add(written, Ordering::Relaxed);
                 return Err(e.into());
             }
-            self.nodes[node].writes.fetch_add(1, Ordering::Relaxed);
+            n.writes.fetch_add(1, Ordering::Relaxed);
             written += 1;
         }
         for &node in &down {
-            self.nodes[node]
+            self.node(node)
                 .hints
                 .lock()
                 .push((key.to_vec(), value.to_vec()));
             self.hinted_writes.fetch_add(1, Ordering::Relaxed);
             self.under_replicated_writes.fetch_add(1, Ordering::Relaxed);
         }
+        if self.fault.is_some() {
+            // Both handled sets fence the rewrite: a node that took the
+            // write directly or via hint needs no second copy.
+            let mut handled = live;
+            handled.extend_from_slice(&down);
+            written += self.fence_stale_route(key, value, epoch, &mut handled, now)?;
+        }
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.replica_writes.fetch_add(written, Ordering::Relaxed);
+        self.note_region_writes(region_id, 1, key);
         Ok(())
+    }
+
+    /// The epoch fence shared by `put` and `put_batch`: records the write
+    /// in active migration deltas, then re-checks the map epoch and
+    /// re-writes to any replica of the *current* route not in `handled`.
+    /// Loops until the epoch is stable — each pass either exits or
+    /// observes a strictly larger epoch, and a run performs finitely many
+    /// topology mutations, so the loop terminates.
+    fn fence_stale_route(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        mut epoch: u64,
+        handled: &mut Vec<usize>,
+        now: u64,
+    ) -> Result<u64> {
+        let mut written = 0u64;
+        loop {
+            self.capture_migration_delta(key, value);
+            let (new_epoch, new_replicas) = {
+                let map = self.regions.read();
+                (map.epoch(), map.lookup(key).replicas.clone())
+            };
+            if new_epoch == epoch {
+                return Ok(written);
+            }
+            epoch = new_epoch;
+            let missing: Vec<usize> = new_replicas
+                .iter()
+                .copied()
+                .filter(|n| !handled.contains(n))
+                .collect();
+            if missing.is_empty() {
+                continue; // re-check: the epoch moved again mid-read
+            }
+            // ordering: Relaxed — statistics counter.
+            self.stale_route_retries.fetch_add(1, Ordering::Relaxed);
+            for &node in &missing {
+                handled.push(node);
+                if self.node_down(node, now) {
+                    self.node(node)
+                        .hints
+                        .lock()
+                        .push((key.to_vec(), value.to_vec()));
+                    self.hinted_writes.fetch_add(1, Ordering::Relaxed);
+                    self.under_replicated_writes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let n = self.node(node);
+                    if let Err(e) = n.db.put(key, value) {
+                        self.replica_writes.fetch_add(written, Ordering::Relaxed);
+                        return Err(e.into());
+                    }
+                    n.writes.fetch_add(1, Ordering::Relaxed);
+                    written += 1;
+                }
+            }
+        }
+    }
+
+    /// Appends the write to every active migration delta covering `key`.
+    /// Writers always pass through this registry on the fenced path: the
+    /// RwLock's release/acquire edge guarantees that a writer who saw no
+    /// context here committed its replica writes before the migration's
+    /// snapshot pin, so the copy includes them.
+    fn capture_migration_delta(&self, key: &[u8], value: &[u8]) {
+        let migrations = self.migrations.read();
+        for ctx in migrations.iter() {
+            if ctx.covers(key) {
+                ctx.push_delta(key, value);
+            }
+        }
     }
 
     /// Writes a batch of kvps in one cluster operation: items are grouped
@@ -345,11 +506,14 @@ impl Cluster {
         if items.is_empty() {
             return Ok(());
         }
+        let now = self.fault_tick();
         // Group item indices per region id; BTreeMap keeps group order
         // deterministic for the fault machinery.
         let mut groups: BTreeMap<u64, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+        let epoch;
         {
             let map = self.regions.read();
+            epoch = map.epoch();
             for (idx, (key, _)) in items.iter().enumerate() {
                 let region = map.lookup(key);
                 groups
@@ -359,7 +523,6 @@ impl Cluster {
                     .push(idx);
             }
         }
-        let now = self.fault_tick();
         // Judge every (node, group) pair before any write: the batch is
         // the retry unit, so nothing may land if the batch fails.
         let mut plans: Vec<(&Vec<usize>, Vec<usize>, Vec<usize>)> =
@@ -395,17 +558,17 @@ impl Cluster {
                 for &i in idxs.iter() {
                     batch.put(&items[i].0, &items[i].1);
                 }
-                if let Err(e) = self.nodes[node].db.write(batch) {
+                let n = self.node(node);
+                if let Err(e) = n.db.write(batch) {
                     self.replica_writes.fetch_add(written, Ordering::Relaxed);
                     return Err(e.into());
                 }
-                self.nodes[node]
-                    .writes
-                    .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                n.writes.fetch_add(idxs.len() as u64, Ordering::Relaxed);
                 written += idxs.len() as u64;
             }
             for &node in down {
-                let mut hints = self.nodes[node].hints.lock();
+                let n = self.node(node);
+                let mut hints = n.hints.lock();
                 for &i in idxs.iter() {
                     hints.push((items[i].0.to_vec(), items[i].1.to_vec()));
                 }
@@ -413,6 +576,24 @@ impl Cluster {
                     .fetch_add(idxs.len() as u64, Ordering::Relaxed);
                 self.under_replicated_writes
                     .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+            }
+        }
+        if self.fault.is_some() {
+            // Per-kvp epoch fence (see put()): the batch landed as one
+            // unit, but a concurrent topology change re-routes each key
+            // independently.
+            for (idxs, live, down) in &plans {
+                for &i in idxs.iter() {
+                    let mut handled = live.clone();
+                    handled.extend_from_slice(down);
+                    written +=
+                        self.fence_stale_route(&items[i].0, &items[i].1, epoch, &mut handled, now)?;
+                }
+            }
+        }
+        for (region_id, (_, idxs)) in &groups {
+            if let Some(&last) = idxs.last() {
+                self.note_region_writes(*region_id, idxs.len() as u64, &items[last].0);
             }
         }
         self.puts.fetch_add(items.len() as u64, Ordering::Relaxed);
@@ -426,17 +607,18 @@ impl Cluster {
     /// Reads `key` from its region's primary, failing over to the first
     /// live replica when the primary is down.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let now = self.fault_tick();
         let (primary, replicas) = {
             let map = self.regions.read();
             let region = map.lookup(key);
             (region.primary, region.replicas.clone())
         };
-        let now = self.fault_tick();
         let node = self.pick_read_node(primary, &replicas, key, now)?;
+        let n = self.node(node);
         // ordering: Relaxed — statistics counters.
-        self.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
+        n.reads.fetch_add(1, Ordering::Relaxed);
         self.gets.fetch_add(1, Ordering::Relaxed);
-        Ok(self.nodes[node].db.get(key)?)
+        Ok(n.db.get(key)?)
     }
 
     /// Routing for reads/scans: the primary when live, otherwise the
@@ -558,31 +740,15 @@ impl Cluster {
             map.lookup(key).replicas.clone()
         };
         for &node in &replicas {
-            self.nodes[node].db.delete(key)?;
+            self.node(node).db.delete(key)?;
         }
         Ok(())
     }
 
-    /// Splits the region containing `split_key`. Returns the new region id
-    /// (or `None` if the key is already a boundary).
-    pub fn split_region(&self, split_key: &[u8]) -> Option<u64> {
-        let mut map = self.regions.write();
-        let id = map.split_at(split_key);
-        debug_assert!(map.check_invariants().is_ok());
-        id
-    }
-
-    /// Round-robin rebalance of region primaries across nodes.
-    pub fn rebalance(&self) -> usize {
-        let replication = self.effective_replication();
-        self.regions
-            .write()
-            .rebalance(self.nodes.len(), replication)
-    }
-
     /// Flushes every node's storage engine to disk.
     pub fn flush_all(&self) -> Result<()> {
-        for node in &self.nodes {
+        let nodes: Vec<Arc<Node>> = self.nodes.read().iter().map(Arc::clone).collect();
+        for node in &nodes {
             node.db.flush()?;
         }
         Ok(())
@@ -595,19 +761,24 @@ impl Cluster {
         // ordering: Relaxed — counter resets; purge holds &mut self, so no
         // concurrent operation can observe a torn reset.
         let storage = self.config.storage.clone();
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let dir = self.config.data_dir.join(format!("node-{i}"));
-            // Drop the engine (closing threads), wipe, reopen.
-            let placeholder_dir = self.config.data_dir.join(format!("node-{i}-tmp"));
-            let old = std::mem::replace(&mut node.db, Db::open(&placeholder_dir, storage.clone())?);
+        {
+            let mut nodes = self.nodes.write();
+            // Drop every engine first (closing its threads), then wipe.
+            // Mid-run-added nodes are dropped for good: the next
+            // iteration replays the same NodeAdd events from scratch.
+            let old: Vec<Arc<Node>> = std::mem::take(&mut *nodes);
+            let old_count = old.len();
             drop(old);
-            std::fs::remove_dir_all(&dir).map_err(iotkv::Error::from)?;
-            node.db = Db::open(&dir, storage.clone())?;
-            std::fs::remove_dir_all(&placeholder_dir).ok();
-            node.writes.store(0, Ordering::Relaxed);
-            node.reads.store(0, Ordering::Relaxed);
-            node.hints.lock().clear();
+            for i in 0..old_count {
+                let dir = self.config.data_dir.join(format!("node-{i}"));
+                std::fs::remove_dir_all(&dir).map_err(iotkv::Error::from)?;
+            }
+            for i in 0..self.config.nodes {
+                let dir = self.config.data_dir.join(format!("node-{i}"));
+                nodes.push(Arc::new(Node::new(Db::open(&dir, storage.clone())?)));
+            }
         }
+        self.reset_topology();
         self.puts.store(0, Ordering::Relaxed);
         self.gets.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
@@ -622,19 +793,25 @@ impl Cluster {
         self.unavailable_errors.store(0, Ordering::Relaxed);
         self.scan_retries.store(0, Ordering::Relaxed);
         self.scan_resumes.store(0, Ordering::Relaxed);
+        self.splits.store(0, Ordering::Relaxed);
+        self.drains.store(0, Ordering::Relaxed);
+        self.migrations_started.store(0, Ordering::Relaxed);
+        self.migrations_completed.store(0, Ordering::Relaxed);
+        self.migrations_aborted.store(0, Ordering::Relaxed);
+        self.stale_route_retries.store(0, Ordering::Relaxed);
         // Restart the fault plan too: each iteration faces the same
         // schedule, so warm-up and measured runs degrade identically.
         self.fault = self
             .config
             .fault_plan
             .clone()
-            .map(|plan| FaultState::new(plan, self.nodes.len()));
+            .map(|plan| FaultState::new(plan, self.config.nodes));
         Ok(())
     }
 
     /// Storage-engine statistics of one node.
     pub fn node_db_stats(&self, node: usize) -> iotkv::DbStats {
-        self.nodes[node].db.stats()
+        self.node(node).db.stats()
     }
 
     /// Degraded-mode counters only (a cheap subset of [`Cluster::stats`]).
@@ -649,12 +826,23 @@ impl Cluster {
             unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
             scan_retries: self.scan_retries.load(Ordering::Relaxed),
             scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            migrations_started: self.migrations_started.load(Ordering::Relaxed),
+            migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
+            migrations_aborted: self.migrations_aborted.load(Ordering::Relaxed),
+            stale_route_retries: self.stale_route_retries.load(Ordering::Relaxed),
         }
     }
 
     pub fn stats(&self) -> ClusterStats {
         // ordering: Relaxed — statistics snapshot (see resilience()); the
         // replica-writes reconciliation tolerates in-flight operations.
+        let nodes: Vec<Arc<Node>> = self.nodes.read().iter().map(Arc::clone).collect();
+        let (regions, epoch) = {
+            let map = self.regions.read();
+            (map.len(), map.epoch())
+        };
         ClusterStats {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -663,14 +851,14 @@ impl Cluster {
             put_batches: self.put_batches.load(Ordering::Relaxed),
             replica_writes: self.replica_writes.load(Ordering::Relaxed),
             rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
-            regions: self.regions.read().len(),
-            node_writes: self
-                .nodes
+            regions,
+            epoch,
+            topology_ok: self.topology_consistent(),
+            node_writes: nodes
                 .iter()
                 .map(|n| n.writes.load(Ordering::Relaxed))
                 .collect(),
-            node_reads: self
-                .nodes
+            node_reads: nodes
                 .iter()
                 .map(|n| n.reads.load(Ordering::Relaxed))
                 .collect(),
@@ -681,7 +869,7 @@ impl Cluster {
             faults: self.fault.as_ref().map(|f| f.counters()),
             engine: {
                 let mut engine = iotkv::DbStats::default();
-                for node in &self.nodes {
+                for node in &nodes {
                     engine.accumulate(&node.db.stats());
                 }
                 engine
@@ -776,8 +964,9 @@ impl ClusterScan<'_> {
         if resume {
             cluster.scan_resumes.fetch_add(1, Ordering::Relaxed);
         }
-        cluster.nodes[node].reads.fetch_add(1, Ordering::Relaxed);
-        let iter = cluster.nodes[node].db.scan_iter(from, &target.hi);
+        let n = cluster.node(node);
+        n.reads.fetch_add(1, Ordering::Relaxed);
+        let iter = n.db.scan_iter(from, &target.hi);
         Ok(ScanCursor {
             target,
             node,
@@ -1219,7 +1408,7 @@ mod tests {
         // error that fails node 1's *next* write.
         let node1_dir = c.config().data_dir.join("node-1");
         std::fs::remove_dir_all(&node1_dir).unwrap();
-        c.nodes[1].db.flush().unwrap();
+        c.node(1).db.flush().unwrap();
         let err = c.put(b"k2", b"v").unwrap_err();
         assert!(matches!(err, GatewayError::Storage(_)), "got {err}");
         let stats = c.stats();

@@ -30,6 +30,7 @@
 //! never lost. Storage-level crash *durability* is exercised separately
 //! by `iotkv`'s own recovery tests.
 
+use bytes::Bytes;
 use simkit::rng::{derive_seed, Stream};
 use simkit::sync::{AtomicBool, AtomicU64, Ordering};
 use std::collections::HashMap;
@@ -48,6 +49,28 @@ pub struct CrashEvent {
     pub down_for_ops: Option<u64>,
 }
 
+/// What a scheduled topology event does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyAction {
+    /// Split the region containing the key at that key.
+    Split(Bytes),
+    /// Add a fresh empty node and migrate one region replica onto it.
+    NodeAdd,
+    /// Drain the node: migrate its replicas away, then drop it from
+    /// routing.
+    Drain(usize),
+}
+
+/// One scheduled topology reconfiguration, fired against the same global
+/// op tick-clock the crash schedule uses — reconfigurations are replayable
+/// events, exactly like faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyEvent {
+    /// Global cluster operation count at which the event fires.
+    pub at_op: u64,
+    pub action: TopologyAction,
+}
+
 /// A seeded, declarative description of the faults injected into a run.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
@@ -64,6 +87,11 @@ pub struct FaultPlan {
     pub slow_nodes: Vec<usize>,
     /// Scheduled crashes.
     pub crashes: Vec<CrashEvent>,
+    /// Scheduled topology reconfigurations (splits, node adds, drains).
+    pub topology: Vec<TopologyEvent>,
+    /// When set, a region auto-splits at its last-written key once it has
+    /// absorbed this many writes since its creation (or last split).
+    pub split_threshold: Option<u64>,
 }
 
 impl FaultPlan {
@@ -76,6 +104,8 @@ impl FaultPlan {
             added_latency: Duration::ZERO,
             slow_nodes: Vec::new(),
             crashes: Vec::new(),
+            topology: Vec::new(),
+            split_threshold: None,
         }
     }
 
@@ -104,6 +134,53 @@ impl FaultPlan {
         self.slow_nodes = slow_nodes;
         self
     }
+
+    /// Schedules a region split at `key` when the global op counter
+    /// reaches `at_op`.
+    pub fn with_split(mut self, at_op: u64, key: impl AsRef<[u8]>) -> FaultPlan {
+        self.topology.push(TopologyEvent {
+            at_op,
+            action: TopologyAction::Split(Bytes::copy_from_slice(key.as_ref())),
+        });
+        self
+    }
+
+    /// Schedules a fresh node to join the cluster at global op `at_op`;
+    /// the topology manager migrates one region replica onto it.
+    pub fn with_node_add(mut self, at_op: u64) -> FaultPlan {
+        self.topology.push(TopologyEvent {
+            at_op,
+            action: TopologyAction::NodeAdd,
+        });
+        self
+    }
+
+    /// Schedules a graceful drain of `node` at global op `at_op`: its
+    /// replicas migrate away and the node leaves the routing table.
+    pub fn with_drain(mut self, node: usize, at_op: u64) -> FaultPlan {
+        self.topology.push(TopologyEvent {
+            at_op,
+            action: TopologyAction::Drain(node),
+        });
+        self
+    }
+
+    /// Arms rate-triggered splitting: any region that absorbs `writes`
+    /// puts splits at its last-written key.
+    pub fn with_split_threshold(mut self, writes: u64) -> FaultPlan {
+        assert!(writes > 0, "split threshold must be positive");
+        self.split_threshold = Some(writes);
+        self
+    }
+
+    /// How many nodes the scheduled `NodeAdd` events will create beyond
+    /// the configured cluster size.
+    pub fn node_adds(&self) -> usize {
+        self.topology
+            .iter()
+            .filter(|e| e.action == TopologyAction::NodeAdd)
+            .count()
+    }
 }
 
 /// Counters describing the faults actually injected.
@@ -115,6 +192,8 @@ pub struct FaultCounters {
     pub down_rejections: u64,
     /// Operations delayed by latency injection.
     pub delayed_ops: u64,
+    /// Planned topology events (splits, node adds, drains) that fired.
+    pub topology_events: u64,
 }
 
 /// What the fault layer decides about one operation on one node.
@@ -145,6 +224,7 @@ pub struct FaultState {
     transient_errors: AtomicU64,
     down_rejections: AtomicU64,
     delayed_ops: AtomicU64,
+    topology_events: AtomicU64,
 }
 
 /// FNV-1a over the key bytes — stable across runs and platforms.
@@ -159,11 +239,22 @@ fn hash_key(key: &[u8]) -> u64 {
 
 impl FaultState {
     pub fn new(plan: FaultPlan, node_count: usize) -> FaultState {
+        // Nodes created by scheduled NodeAdd events are addressable by the
+        // crash/drain schedule too, so validate and size against the
+        // eventual cluster width.
+        let eventual = node_count + plan.node_adds();
         assert!(
-            plan.crashes.iter().all(|c| c.node < node_count),
+            plan.crashes.iter().all(|c| c.node < eventual),
             "crash plan references a node outside the cluster"
         );
-        let nodes = (0..node_count)
+        assert!(
+            plan.topology.iter().all(|e| match e.action {
+                TopologyAction::Drain(node) => node < eventual,
+                _ => true,
+            }),
+            "drain plan references a node outside the cluster"
+        );
+        let nodes = (0..eventual)
             .map(|_| NodeFaults {
                 bursts: Mutex::new(HashMap::new()),
                 was_down: AtomicBool::new(false),
@@ -176,6 +267,7 @@ impl FaultState {
             transient_errors: AtomicU64::new(0),
             down_rejections: AtomicU64::new(0),
             delayed_ops: AtomicU64::new(0),
+            topology_events: AtomicU64::new(0),
         }
     }
 
@@ -189,6 +281,20 @@ impl FaultState {
         // ordering: Relaxed — a monotone logical clock; uniqueness comes from
         // the RMW and verdicts are pure functions of the returned value.
         self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reads the current op count without advancing it — used by the
+    /// migration copy loop for liveness checks that must not perturb the
+    /// deterministic event clock.
+    pub fn now(&self) -> u64 {
+        // ordering: Relaxed — monotone clock read, no payload published.
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Records one fired topology event.
+    pub fn note_topology_event(&self) {
+        // ordering: Relaxed — statistics counter.
+        self.topology_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether `node` is down at global operation `now` — a pure function
@@ -292,6 +398,7 @@ impl FaultState {
             transient_errors: self.transient_errors.load(Ordering::Relaxed),
             down_rejections: self.down_rejections.load(Ordering::Relaxed),
             delayed_ops: self.delayed_ops.load(Ordering::Relaxed),
+            topology_events: self.topology_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -395,5 +502,49 @@ mod tests {
     #[should_panic(expected = "outside the cluster")]
     fn crash_plan_validated_against_node_count() {
         FaultState::new(FaultPlan::quiet(0).with_crash(5, 0, None), 2);
+    }
+
+    #[test]
+    fn topology_builders_schedule_events() {
+        let plan = FaultPlan::quiet(0)
+            .with_split(100, b"m")
+            .with_node_add(200)
+            .with_drain(1, 300)
+            .with_split_threshold(500);
+        assert_eq!(plan.topology.len(), 3);
+        assert_eq!(plan.node_adds(), 1);
+        assert_eq!(plan.split_threshold, Some(500));
+        assert_eq!(
+            plan.topology[0].action,
+            TopologyAction::Split(Bytes::from_static(b"m"))
+        );
+        assert_eq!(plan.topology[2].action, TopologyAction::Drain(1));
+    }
+
+    #[test]
+    fn node_add_widens_crash_validation() {
+        // Node 3 only exists after the NodeAdd, yet the crash schedule
+        // may target it: validation runs against the eventual width.
+        let plan = FaultPlan::quiet(0)
+            .with_node_add(100)
+            .with_crash(3, 200, None);
+        let f = FaultState::new(plan, 3);
+        assert!(f.node_down(3, 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "drain plan references")]
+    fn drain_plan_validated_against_node_count() {
+        FaultState::new(FaultPlan::quiet(0).with_drain(7, 10), 3);
+    }
+
+    #[test]
+    fn now_reads_without_ticking() {
+        let f = FaultState::new(FaultPlan::quiet(0), 1);
+        assert_eq!(f.now(), 0);
+        f.tick();
+        f.tick();
+        assert_eq!(f.now(), 2);
+        assert_eq!(f.now(), 2, "now() must not advance the clock");
     }
 }

@@ -25,9 +25,12 @@ pub mod cluster;
 pub mod fault;
 pub mod region;
 pub mod store_adapter;
+pub mod topology;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterStats};
-pub use fault::{CrashEvent, FaultCounters, FaultPlan, FaultState, FaultVerdict};
+pub use fault::{
+    CrashEvent, FaultCounters, FaultPlan, FaultState, FaultVerdict, TopologyAction, TopologyEvent,
+};
 pub use region::{Region, RegionMap};
 pub use store_adapter::GatewayKvStore;
 

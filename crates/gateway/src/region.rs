@@ -29,11 +29,14 @@ impl Region {
 }
 
 /// The sorted routing table: contiguous, non-overlapping regions covering
-/// the whole keyspace.
+/// the whole keyspace. Every mutation bumps `epoch`, letting in-flight
+/// operations that captured a route under an older epoch detect the
+/// topology change and re-route instead of writing to a stale replica set.
 #[derive(Clone, Debug, Default)]
 pub struct RegionMap {
     regions: Vec<Region>,
     next_id: u64,
+    epoch: u64,
 }
 
 impl RegionMap {
@@ -48,6 +51,7 @@ impl RegionMap {
                 replicas,
             }],
             next_id: 1,
+            epoch: 0,
         }
     }
 
@@ -77,11 +81,44 @@ impl RegionMap {
         RegionMap {
             next_id: regions.len() as u64,
             regions,
+            epoch: 0,
         }
     }
 
     pub fn regions(&self) -> &[Region] {
         &self.regions
+    }
+
+    /// The topology version: bumped on every mutation. In-flight writers
+    /// capture the epoch with their route and re-check it after writing;
+    /// a mismatch means the route may be stale and the op must re-route.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The region with the given id, if it still exists.
+    pub fn region_by_id(&self, id: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Ids of every region whose replica set references `node`.
+    pub fn regions_on(&self, node: usize) -> Vec<u64> {
+        self.regions
+            .iter()
+            .filter(|r| r.replicas.contains(&node))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Bumps the epoch and, in debug builds, asserts the structural
+    /// invariants every mutator must preserve.
+    fn note_mutation(&mut self) {
+        self.epoch += 1;
+        debug_assert!(
+            self.check_invariants().is_ok(),
+            "region map invariant broken: {:?}",
+            self.check_invariants()
+        );
     }
 
     pub fn len(&self) -> usize {
@@ -131,7 +168,51 @@ impl RegionMap {
         right.start = Bytes::copy_from_slice(split_key);
         self.regions[idx].end = Bytes::copy_from_slice(split_key);
         self.regions.insert(idx + 1, right);
+        self.note_mutation();
         Some(new_id)
+    }
+
+    /// Replaces `old_node` with `new_node` in the replica set of region
+    /// `region_id` (the migration-finalize step). The primary follows if
+    /// it was the migrated replica. Returns false if the region is gone
+    /// or `old_node` no longer serves it — the migration then aborts.
+    pub fn swap_replica(&mut self, region_id: u64, old_node: usize, new_node: usize) -> bool {
+        let Some(region) = self.regions.iter_mut().find(|r| r.id == region_id) else {
+            return false;
+        };
+        if region.replicas.contains(&new_node) {
+            return false;
+        }
+        let Some(slot) = region.replicas.iter().position(|&n| n == old_node) else {
+            return false;
+        };
+        region.replicas[slot] = new_node;
+        if region.primary == old_node {
+            region.primary = new_node;
+        }
+        self.note_mutation();
+        true
+    }
+
+    /// Drops `node` from the replica set of region `region_id`, used when
+    /// draining a node with no migration destination available. Refuses to
+    /// empty a replica set. Returns false when nothing changed.
+    pub fn shed_replica(&mut self, region_id: u64, node: usize) -> bool {
+        let Some(region) = self.regions.iter_mut().find(|r| r.id == region_id) else {
+            return false;
+        };
+        if region.replicas.len() <= 1 {
+            return false;
+        }
+        let Some(slot) = region.replicas.iter().position(|&n| n == node) else {
+            return false;
+        };
+        region.replicas.remove(slot);
+        if region.primary == node {
+            region.primary = region.replicas[0];
+        }
+        self.note_mutation();
+        true
     }
 
     /// Reassigns primaries round-robin across `node_count` nodes, keeping
@@ -149,6 +230,9 @@ impl RegionMap {
                 region.replicas = replicas;
             }
         }
+        if moved > 0 {
+            self.note_mutation();
+        }
         moved
     }
 
@@ -163,6 +247,14 @@ impl RegionMap {
         }
         if !self.regions[self.regions.len() - 1].end.is_empty() {
             return Err("last region must end at +inf".into());
+        }
+        for r in &self.regions {
+            if r.replicas.is_empty() {
+                return Err(format!("region {} has no replicas", r.id));
+            }
+            if !r.replicas.contains(&r.primary) {
+                return Err(format!("region {} primary not in replica set", r.id));
+            }
         }
         for w in self.regions.windows(2) {
             if w[0].end != w[1].start {
@@ -266,5 +358,58 @@ mod tests {
         let mut map = RegionMap::single(vec![0]);
         map.rebalance(2, 3);
         assert_eq!(map.regions()[0].replicas, vec![0, 1]);
+    }
+
+    #[test]
+    fn every_mutation_bumps_epoch() {
+        let mut map = RegionMap::single(vec![0, 1, 2]);
+        assert_eq!(map.epoch(), 0);
+        map.split_at(b"m").unwrap();
+        assert_eq!(map.epoch(), 1);
+        // A no-op split leaves the epoch alone.
+        assert!(map.split_at(b"m").is_none());
+        assert_eq!(map.epoch(), 1);
+        assert!(map.swap_replica(0, 2, 3));
+        assert_eq!(map.epoch(), 2);
+        map.rebalance(3, 3);
+        assert_eq!(map.epoch(), 3);
+    }
+
+    #[test]
+    fn swap_replica_moves_primary_with_it() {
+        let mut map = RegionMap::single(vec![0, 1, 2]);
+        assert!(map.swap_replica(0, 0, 3));
+        let r = &map.regions()[0];
+        assert_eq!(r.replicas, vec![3, 1, 2]);
+        assert_eq!(r.primary, 3, "primary follows the migrated replica");
+        map.check_invariants().unwrap();
+        // Unknown region, absent old node, or duplicate new node: refused.
+        assert!(!map.swap_replica(9, 1, 4));
+        assert!(!map.swap_replica(0, 0, 4));
+        assert!(!map.swap_replica(0, 1, 2));
+        assert_eq!(map.epoch(), 1, "refused swaps do not bump the epoch");
+    }
+
+    #[test]
+    fn shed_replica_shrinks_but_never_empties() {
+        let mut map = RegionMap::single(vec![0, 1, 2]);
+        assert!(map.shed_replica(0, 0));
+        let r = &map.regions()[0];
+        assert_eq!(r.replicas, vec![1, 2]);
+        assert_eq!(r.primary, 1, "primary falls back to a surviving replica");
+        assert!(map.shed_replica(0, 2));
+        assert!(!map.shed_replica(0, 1), "last replica must stay");
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn regions_on_and_by_id() {
+        let mut map = RegionMap::pre_split(&[b("m")], |i| vec![i, i + 1]);
+        assert_eq!(map.regions_on(1), vec![0, 1]);
+        assert_eq!(map.regions_on(2), vec![1]);
+        assert_eq!(map.region_by_id(1).unwrap().start.as_ref(), b"m");
+        assert!(map.region_by_id(7).is_none());
+        let new_id = map.split_at(b"t").unwrap();
+        assert_eq!(map.region_by_id(new_id).unwrap().start.as_ref(), b"t");
     }
 }

@@ -94,12 +94,14 @@ pub fn decode_fields(mut data: &[u8]) -> Option<FieldMap> {
         if data.len() < name_len {
             return None;
         }
+        // lint:allow(region-map) slice::split_at on the wire format, not RegionMap
         let (name, rest) = data.split_at(name_len);
         data = rest;
         let value_len = get_varint(&mut data)? as usize;
         if data.len() < value_len {
             return None;
         }
+        // lint:allow(region-map) slice::split_at on the wire format, not RegionMap
         let (value, rest) = data.split_at(value_len);
         data = rest;
         out.push((

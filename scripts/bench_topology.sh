@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Elastic-sharding evidence: runs the bench_topology bin (seeded online
+# region splits, replica migration to a mid-run-added node, node drain —
+# all under live ingest) and writes BENCH_topology.json. The bin exits
+# nonzero if any case finishes INVALID, so this script doubles as the CI
+# gate on the zero-acked-loss verdict.
+#
+#   ./scripts/bench_topology.sh          # full run, artifact at repo root
+#   ./scripts/bench_topology.sh 100      # smoke scale (used by ci.sh)
+#
+# Override the artifact path with BENCH_TOPOLOGY_OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-20}"
+export BENCH_TOPOLOGY_OUT="${BENCH_TOPOLOGY_OUT:-BENCH_topology.json}"
+
+cargo run --release -q -p bench --bin bench_topology -- "$SCALE"

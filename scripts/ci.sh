@@ -53,6 +53,13 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== query scans (smoke) =="
     BENCH_QUERY_OUT="$ARTIFACT_DIR/BENCH_query.json" \
         ./scripts/bench_query.sh 100
+
+    echo "== topology sweep (smoke, gates on VALID verdict) =="
+    BENCH_TOPOLOGY_OUT="$ARTIFACT_DIR/BENCH_topology.json" \
+    METRICS_EXPORT_DIR="$ARTIFACT_DIR" \
+        ./scripts/bench_topology.sh 100
+    cargo run --release -q -p bench --bin check_export -- \
+        "$ARTIFACT_DIR/bench_topology.json" "$ARTIFACT_DIR/bench_topology.prom"
 fi
 
 echo "CI gate passed."

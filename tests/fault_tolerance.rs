@@ -326,6 +326,167 @@ fn put_batch_partial_region_fault_hints_only_that_group() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// The elastic-sharding acceptance scenario: one seeded run performs at
+/// least one threshold-triggered region split, one replica migration to
+/// a node added mid-run, and one graceful node drain — all under
+/// concurrent batched ingest and streamed queries — and finishes VALID
+/// with zero acknowledged-write loss.
+#[test]
+fn elastic_reconfiguration_under_load_stays_valid() {
+    let dir = tmpdir("elastic");
+    // Threshold splits fire on write *rate* (kvps, not op ticks); the
+    // event clock ticks once per batch/scan, so with batch_size 16 one
+    // phase is ~500 ticks: node 3 arrives at op 300 and immediately
+    // receives a migrated replica; node 1 drains at op 700.
+    let plan = gateway::FaultPlan::quiet(4242)
+        .with_split_threshold(1_500)
+        .with_node_add(300)
+        .with_drain(1, 700);
+    let mut sut = faulted_sut(&dir, plan);
+    let mut config = BenchmarkConfig::new(1, 8_000);
+    config.threads_per_driver = 2;
+    config.batch_size = 16;
+    config.rules = lab_rules();
+    let sheet = PriceSheet::sample_cluster(3);
+    let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+
+    let outcome = runner.run(&mut sut);
+    assert_eq!(outcome.iterations.len(), 2);
+    for it in &outcome.iterations {
+        assert!(it.data_check.passed, "{}", it.data_check.detail);
+        assert!(it.validity.valid, "unexpected: {:?}", it.validity.reasons);
+        assert_eq!(it.warmup.ingested + it.measured.ingested, 16_000);
+        let c = it.cluster.as_ref().expect("gateway SUT samples cluster");
+        assert!(c.topology_ok, "routing table must stay consistent: {c:?}");
+        assert!(c.splits >= 1, "threshold must trigger a split: {c:?}");
+        assert!(
+            c.migrations_completed >= 1,
+            "node add must land a replica on the new node: {c:?}"
+        );
+        assert_eq!(c.drains, 1, "{c:?}");
+        assert!(
+            c.epoch >= c.splits + c.migrations_completed,
+            "every reconfiguration bumps the routing epoch: {c:?}"
+        );
+        assert!(
+            c.node_writes.len() == 4 && c.node_writes[3] > 0,
+            "the mid-run node must serve writes after migration: {c:?}"
+        );
+    }
+    assert!(
+        outcome.publishable(),
+        "reconfiguration degrades, not invalidates"
+    );
+
+    let fdr = full_disclosure_report(&outcome, &config, &sheet, &[]);
+    assert!(fdr.contains("run validity: VALID"));
+    assert!(fdr.contains("online reconfiguration"));
+    assert!(fdr.contains("topology:"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Crash the migration *destination*: the copy must abort, the source
+/// replica set must keep serving every read, and the run verdict stays
+/// VALID — an aborted migration is degradation, not data loss.
+#[test]
+fn dest_crash_mid_migration_keeps_source_serving_and_run_valid() {
+    let dir = tmpdir("dest-crash");
+    // Node 3 is added at op 1000 but the crash schedule has already
+    // taken it down (permanently) at op 900: the migration registers,
+    // sees a dead destination, and aborts with the old set serving.
+    let plan = gateway::FaultPlan::quiet(31)
+        .with_node_add(1_000)
+        .with_crash(3, 900, None);
+    let mut sut = faulted_sut(&dir, plan);
+    let mut config = BenchmarkConfig::new(1, 6_000);
+    config.threads_per_driver = 2;
+    config.rules = lab_rules();
+    let sheet = PriceSheet::sample_cluster(3);
+    let runner = BenchmarkRunner::new(config.clone(), sheet.clone());
+
+    let outcome = runner.run(&mut sut);
+    for it in &outcome.iterations {
+        assert!(it.data_check.passed, "{}", it.data_check.detail);
+        assert!(it.validity.valid, "unexpected: {:?}", it.validity.reasons);
+        let c = it.cluster.as_ref().expect("gateway SUT samples cluster");
+        assert!(c.topology_ok, "{c:?}");
+        assert_eq!(c.migrations_started, 1, "{c:?}");
+        assert_eq!(c.migrations_aborted, 1, "{c:?}");
+        assert_eq!(c.migrations_completed, 0, "{c:?}");
+        assert_eq!(
+            c.unavailable_errors, 0,
+            "the dead node was never routed, so nothing is rejected: {c:?}"
+        );
+        assert_eq!(
+            c.node_writes[3], 0,
+            "no write may land on the unrouted destination: {c:?}"
+        );
+    }
+    assert!(outcome.publishable());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Zero acked-data loss, physically: a direct cluster scenario running
+/// splits, a node add, and a drain interleaved with batched ingest, then
+/// a full scan — every acknowledged key present exactly once on the
+/// post-reconfiguration topology.
+#[test]
+fn reconfiguration_pipeline_loses_no_rows_physically() {
+    let dir = tmpdir("physical");
+    let mut config = gateway::ClusterConfig::new(&dir, 3);
+    config.storage = small_options();
+    // 2000 kvps in 8-kvp batches = 250 op ticks total; events sit well
+    // inside that window.
+    config.fault_plan = Some(
+        gateway::FaultPlan::quiet(77)
+            .with_split_threshold(400)
+            .with_node_add(60)
+            .with_drain(0, 120),
+    );
+    let cluster = gateway::Cluster::start(config).unwrap();
+
+    let total = 2_000u64;
+    let mut batch: Vec<(bytes::Bytes, bytes::Bytes)> = Vec::new();
+    for i in 0..total {
+        batch.push((
+            bytes::Bytes::from(format!("k{i:05}")),
+            bytes::Bytes::from(format!("v{i}")),
+        ));
+        if batch.len() == 8 {
+            cluster.put_batch(&batch).expect("acked");
+            batch.clear();
+        }
+    }
+    assert!(batch.is_empty());
+
+    let stats = cluster.stats();
+    assert!(stats.resilience.splits >= 1, "{stats:?}");
+    assert!(stats.resilience.migrations_completed >= 1, "{stats:?}");
+    assert_eq!(stats.resilience.drains, 1, "{stats:?}");
+    assert!(stats.topology_ok, "{stats:?}");
+
+    // Physical check: one streamed pass over the whole keyspace yields
+    // every acknowledged key exactly once, in order.
+    let mut seen = 0u64;
+    let mut prev: Option<bytes::Bytes> = None;
+    for row in cluster.scan_stream(b"k", b"l") {
+        let (k, v) = row.expect("stream survives the topology");
+        if let Some(p) = &prev {
+            assert!(p < &k, "duplicate or out-of-order row {k:?}");
+        }
+        assert_eq!(
+            v,
+            bytes::Bytes::from(format!("v{seen}")),
+            "row payload intact"
+        );
+        prev = Some(k);
+        seen += 1;
+    }
+    assert_eq!(seen, total, "every acked row yielded exactly once");
+    drop(cluster);
+    std::fs::remove_dir_all(dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -365,5 +526,50 @@ proptest! {
         // Identical attempt counts AND identical post-run rng position:
         // the retry loop consumed exactly the same jitter draws.
         prop_assert_eq!(attempts(seed), attempts(seed));
+    }
+
+    /// A streamed scan that is mid-flight when the region splits (and
+    /// optionally rebalances) still yields each row exactly once, in
+    /// order: region cursors pin engine snapshots at open, and splits
+    /// move routing metadata, not data.
+    #[test]
+    fn streamed_scan_across_concurrent_split_yields_rows_exactly_once(
+        rows in 32u64..200,
+        consumed_before in 0u64..32,
+        split_at in 1u64..31,
+        rebalance in any::<bool>(),
+    ) {
+        let dir = tmpdir(&format!("split-scan-{rows}-{consumed_before}-{split_at}"));
+        let mut config = gateway::ClusterConfig::new(&dir, 3);
+        config.storage = small_options();
+        let cluster = gateway::Cluster::start(config).unwrap();
+        for i in 0..rows {
+            cluster.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+
+        let mut stream = cluster.scan_stream(b"k", b"l");
+        let mut yielded = Vec::new();
+        for _ in 0..consumed_before {
+            let (k, _) = stream.next().expect("rows remain").unwrap();
+            yielded.push(k);
+        }
+        // Split somewhere inside the keyspace while the scan is open.
+        let split_key = format!("k{:04}", split_at * rows / 32);
+        cluster.split_region(split_key.as_bytes());
+        if rebalance {
+            cluster.rebalance();
+        }
+        for row in stream {
+            let (k, _) = row.unwrap();
+            yielded.push(k);
+        }
+
+        prop_assert_eq!(yielded.len() as u64, rows, "exactly-once row count");
+        let expected: Vec<bytes::Bytes> = (0..rows)
+            .map(|i| bytes::Bytes::from(format!("k{i:04}")))
+            .collect();
+        prop_assert_eq!(yielded, expected, "no duplicate, loss, or reorder");
+        drop(cluster);
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -145,6 +145,14 @@ fn synthetic_registry() -> MetricsRegistry {
         unavailable_errors: 0,
         scan_retries: 2,
         scan_resumes: 1,
+        splits: 2,
+        drains: 1,
+        migrations_started: 3,
+        migrations_completed: 2,
+        migrations_aborted: 1,
+        stale_route_retries: 5,
+        epoch: 6,
+        topology_ok: true,
     });
     registry.verdict = "INVALID".into();
     registry

@@ -300,3 +300,117 @@ fn ycsb_insert_ack_downgrade_is_race_free() {
         report.races
     );
 }
+
+/// Closed model of the topology migration protocol
+/// (`gateway::topology`): two writers run the epoch-fenced put path
+/// (route → replicate → delta-capture → epoch re-check → re-replicate)
+/// while a migrator runs register-delta → snapshot-copy → finalize
+/// (drain delta + deactivate + swap route, all under the route lock).
+/// The after-check asserts the zero-acked-loss invariant: every write
+/// acknowledged under *any* epoch is present on the post-migration
+/// replica, whichever interleaving the explorer picked. Duplicated
+/// arrivals are legal (puts are idempotent); absence is the bug.
+#[test]
+fn topology_migration_epoch_fence_loses_no_acked_writes() {
+    use simkit::sync::Mutex;
+
+    // (epoch, replica set) — the model's RegionMap. Node 0 is the
+    // migration source, node 1 the destination.
+    type Route = Mutex<(u64, Vec<usize>)>;
+    type Delta = Mutex<(bool, Vec<u64>)>;
+
+    let report = Explorer::new(0x0007_0050_10e9, SCHEDULES).explore(|m| {
+        let route: Arc<Route> = Arc::new(Mutex::new((0, vec![0])));
+        let stores: Arc<Vec<Mutex<Vec<u64>>>> =
+            Arc::new((0..2).map(|_| Mutex::new(Vec::new())).collect());
+        let registry: Arc<Mutex<Option<Arc<Delta>>>> = Arc::new(Mutex::new(None));
+
+        for id in [100u64, 200] {
+            let (route, stores, registry) = (
+                Arc::clone(&route),
+                Arc::clone(&stores),
+                Arc::clone(&registry),
+            );
+            m.thread(move || {
+                // Route + replicate at the captured epoch.
+                let (e0, mut handled) = route.lock().clone();
+                for &n in &handled {
+                    stores[n].lock().push(id);
+                }
+                // Fence: feed any registered in-flight migration delta,
+                // then re-check the epoch; a bump means the replica set
+                // moved underneath us — re-replicate to the new members.
+                let ctx = registry.lock().clone();
+                if let Some(ctx) = ctx {
+                    let mut delta = ctx.lock();
+                    if delta.0 {
+                        delta.1.push(id);
+                    }
+                }
+                let (e1, current) = route.lock().clone();
+                if e1 != e0 {
+                    let missing: Vec<usize> = current
+                        .iter()
+                        .copied()
+                        .filter(|n| !handled.contains(n))
+                        .collect();
+                    for n in missing {
+                        stores[n].lock().push(id);
+                        handled.push(n);
+                    }
+                }
+            });
+        }
+
+        let (mroute, mstores, mregistry) = (
+            Arc::clone(&route),
+            Arc::clone(&stores),
+            Arc::clone(&registry),
+        );
+        m.thread(move || {
+            // Register the delta *before* pinning the snapshot: a writer
+            // that missed the registry has already replicated, so the
+            // snapshot covers it.
+            let ctx: Arc<Delta> = Arc::new(Mutex::new((true, Vec::new())));
+            *mregistry.lock() = Some(Arc::clone(&ctx));
+            let snapshot: Vec<u64> = mstores[0].lock().clone();
+            for v in snapshot {
+                mstores[1].lock().push(v);
+            }
+            // Finalize under the route lock: deactivate + drain the
+            // delta, then swap the replica set and bump the epoch. A
+            // writer that found the delta inactive must observe this
+            // bump at its re-check — its route.lock() blocks until here.
+            let mut r = mroute.lock();
+            let mut delta = ctx.lock();
+            delta.0 = false;
+            let rows = std::mem::take(&mut delta.1);
+            drop(delta);
+            for v in rows {
+                mstores[1].lock().push(v);
+            }
+            *r = (r.0 + 1, vec![1]);
+        });
+
+        m.after(move || {
+            let (epoch, replicas) = route.lock().clone();
+            assert_eq!(epoch, 1, "migration must publish exactly one bump");
+            assert_eq!(replicas, vec![1], "route must point at the dest");
+            let dest = stores[1].lock().clone();
+            for id in [100u64, 200] {
+                assert!(
+                    dest.contains(&id),
+                    "acked write {id} lost across the migration: dest={dest:?}"
+                );
+            }
+        });
+    });
+
+    assert!(report.schedules >= SCHEDULES);
+    assert!(report.choice_points > 0, "model never hit a choice point");
+    assert!(
+        report.is_race_free(),
+        "migration fence model raced: {:?}",
+        report.races
+    );
+}
