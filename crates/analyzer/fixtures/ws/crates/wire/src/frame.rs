@@ -1,0 +1,6 @@
+// The sanctioned raw-read site: `wire_bounded_rule_applies` exempts this
+// path, so the read below must produce no finding.
+pub fn recv_frame(stream: &mut std::net::TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    stream.read_exact(buf)?;
+    Ok(())
+}

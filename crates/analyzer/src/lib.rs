@@ -3,7 +3,7 @@
 //!
 //! The analyzer walks `crates/*/src` and the top-level `tests/` directory
 //! (fixtures under `crates/analyzer/fixtures/` are deliberately outside
-//! both) and enforces six rules:
+//! both) and enforces seven rules:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` / `panic!` outside test
 //!   scopes and bench bins.
@@ -19,6 +19,10 @@
 //!   the `split_at` / `rebalance` / `swap_replica` / `shed_replica`
 //!   mutators) stay inside `gateway::topology`, the epoch-fenced
 //!   reconfiguration module.
+//! * `wire-bounded` — raw, potentially unbounded reads (`read_exact`,
+//!   `read_to_end`, `read_to_string`) and `set_read_timeout(None)` stay
+//!   inside `wire::frame`, the one length-validated, timeout-mandatory
+//!   read site.
 //!
 //! Suppress a finding with `// lint:allow(rule-name)` on the offending
 //! line or the line directly above. See `DESIGN.md` §11 for the full
@@ -124,6 +128,15 @@ pub fn region_map_rule_applies(rel: &str) -> bool {
         && rel != "crates/gateway/src/topology.rs"
 }
 
+/// Whether the `wire-bounded` rule covers `rel`: everywhere except
+/// `wire::frame`, the one sanctioned raw-read site — it validates the
+/// length prefix against `MAX_FRAME_LEN` before allocating and rejects
+/// a zero read timeout at construction, so its `read_exact` calls are
+/// bounded in both size and time.
+pub fn wire_bounded_rule_applies(rel: &str) -> bool {
+    rel != "crates/wire/src/frame.rs"
+}
+
 /// Runs every rule over the workspace rooted at `root`.
 /// Walks `crates/*/src/**/*.rs` and `tests/**/*.rs`; the `metrics-sync`
 /// rule additionally pairs `crates/core/src/telemetry.rs` with
@@ -146,6 +159,9 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
         }
         if region_map_rule_applies(&rel) {
             rules::check_region_map(&view, &rel, &mut findings);
+        }
+        if wire_bounded_rule_applies(&rel) {
+            rules::check_wire_bounded(&view, &rel, &mut findings);
         }
         rules::check_error_exhaustive(&view, &rel, &mut findings);
     }

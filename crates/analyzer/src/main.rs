@@ -62,18 +62,19 @@ fn main() -> ExitCode {
     }
 }
 
-const RULES: [&str; 6] = [
+const RULES: [&str; 7] = [
     "unwrap",
     "wall-clock",
     "ordering",
     "metrics-sync",
     "error-exhaustive",
     "region-map",
+    "wire-bounded",
 ];
 
 const USAGE: &str = "usage: analyzer check [--json] [--root DIR]\n\
                      \n\
                      Lints crates/*/src and tests/ under DIR (default: .).\n\
                      Rules: unwrap, wall-clock, ordering, metrics-sync,\n\
-                     error-exhaustive, region-map. Suppress per line with\n\
-                     `// lint:allow(rule)`. See DESIGN.md section 11.";
+                     error-exhaustive, region-map, wire-bounded. Suppress per\n\
+                     line with `// lint:allow(rule)`. See DESIGN.md section 11.";

@@ -309,6 +309,45 @@ pub fn check_region_map(view: &FileView, file: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// `wire-bounded`: raw, potentially unbounded reads — `.read_exact(`,
+/// `.read_to_end(`, `.read_to_string(` — and disabling the socket read
+/// timeout (`set_read_timeout(None)`) are confined to `wire::frame`,
+/// the one sanctioned raw-read site (it validates the length prefix
+/// against `MAX_FRAME_LEN` before allocating and rejects a zero
+/// timeout). Anywhere else, a hostile or silent peer can wedge the
+/// reader or balloon memory; go through `FrameConn` instead. Which
+/// files the rule covers is decided by
+/// [`crate::wire_bounded_rule_applies`].
+pub fn check_wire_bounded(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "wire-bounded";
+    const NEEDLES: [&str; 4] = [
+        ".read_exact(",
+        ".read_to_end(",
+        ".read_to_string(",
+        "set_read_timeout(None)",
+    ];
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) || view.suppressed(idx, RULE) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if line.code.contains(needle) {
+                out.push(Finding::new(
+                    RULE,
+                    file,
+                    idx + 1,
+                    format!(
+                        "`{needle}` outside `wire::frame`; unbounded reads must \
+                         go through the length-validated, timeout-mandatory \
+                         `FrameConn`"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
 /// `metrics-sync`: the `OpClass::name()` strings in
 /// `crates/core/src/telemetry.rs` and the `op="…"` labels in the golden
 /// Prometheus snapshot must be the same set.
@@ -511,6 +550,42 @@ mod tests {
     fn region_map_ignores_reads() {
         let src = "fn stats(&self) { let map = self.regions.read(); map.regions(); }\n";
         assert!(findings_for(src, check_region_map).is_empty());
+    }
+
+    #[test]
+    fn wire_bounded_flags_raw_reads_and_disabled_timeouts() {
+        let src = "fn recv(s: &mut TcpStream, buf: &mut [u8]) {\n\
+                       s.read_exact(buf)?;\n\
+                       s.set_read_timeout(None)?;\n\
+                       let mut v = Vec::new();\n\
+                       s.read_to_end(&mut v)?;\n\
+                   }\n";
+        let out = findings_for(src, check_wire_bounded);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
+        assert_eq!(out[2].line, 5);
+    }
+
+    #[test]
+    fn wire_bounded_suppressed_and_test_scoped() {
+        let src = "fn recv(s: &mut TcpStream, buf: &mut [u8]) {\n\
+                       // lint:allow(wire-bounded) length validated above\n\
+                       s.read_exact(buf)?;\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(s: &mut TcpStream) { s.read_to_end(&mut vec![]).ok(); }\n\
+                   }\n";
+        assert!(findings_for(src, check_wire_bounded).is_empty());
+    }
+
+    #[test]
+    fn wire_bounded_ignores_bounded_timeouts() {
+        let src = "fn dial(s: &mut TcpStream, t: Duration) {\n\
+                       s.set_read_timeout(Some(t)).ok();\n\
+                   }\n";
+        assert!(findings_for(src, check_wire_bounded).is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn exact_findings_over_fixture_workspace() {
         ("unwrap", "crates/foo/src/lib.rs", 2),
         ("ordering", "crates/foo/src/lib.rs", 11),
         ("error-exhaustive", "crates/foo/src/lib.rs", 22),
+        ("wire-bounded", "crates/gateway/src/server.rs", 2),
         ("wall-clock", "crates/simkit/src/lib.rs", 2),
         ("metrics-sync", "tests/golden/metrics_snapshot.prom", 3),
     ]
@@ -71,6 +72,20 @@ fn error_exhaustive_finding_points_at_wildcard_arm() {
         .find(|f| f.rule == "error-exhaustive")
         .expect("error-exhaustive violation seeded");
     assert_eq!((f.file.as_str(), f.line), ("crates/foo/src/lib.rs", 22));
+}
+
+#[test]
+fn wire_bounded_flags_raw_reads_outside_wire_frame() {
+    let all = findings();
+    let wb: Vec<&analyzer::Finding> = all.iter().filter(|f| f.rule == "wire-bounded").collect();
+    // One violation in the gateway fixture; its suppressed twin and the
+    // sanctioned read in crates/wire/src/frame.rs produce nothing.
+    assert_eq!(wb.len(), 1, "{wb:?}");
+    assert_eq!(
+        (wb[0].file.as_str(), wb[0].line),
+        ("crates/gateway/src/server.rs", 2)
+    );
+    assert!(wb[0].message.contains(".read_exact("));
 }
 
 #[test]

@@ -1,0 +1,65 @@
+//! A TPCx-IoT driver agent: one remote workload-execution host of the
+//! networked benchmark plane. The agent binds a control socket, prints
+//! its address, and then serves the controller's protocol — `Ping`,
+//! `RunPhase` (run the assigned substation range against the gateway
+//! socket named in the spec), `Shutdown`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin agent -- \
+//!     [--listen 127.0.0.1:0] [--port-file /tmp/agent.addr]
+//! ```
+//!
+//! `--port-file` writes the bound address to a file once the listener is
+//! up, so a harness script can spawn agents on ephemeral ports and
+//! discover where they landed without parsing stdout.
+
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!("usage: agent [--listen ADDR] [--port-file PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--port-file" => {
+                port_file = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            _ => usage(),
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = listener.local_addr().expect("bound socket has an address");
+    println!("agent listening on {addr}");
+    if let Some(path) = &port_file {
+        // Write to a sibling temp file and rename so a polling harness
+        // never reads a half-written address.
+        let tmp = path.with_extension("tmp");
+        if let Err(e) =
+            std::fs::write(&tmp, addr.to_string()).and_then(|_| std::fs::rename(&tmp, path))
+        {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if let Err(e) = tpcx_iot::netplane::run_agent(listener) {
+        eprintln!("agent failed: {e}");
+        std::process::exit(1);
+    }
+    println!("agent shut down cleanly");
+}

@@ -5,7 +5,9 @@
 //! [`gateway::FaultPlan`], drives one substation through the resilient
 //! ingest path (bounded retries with backoff, replica failover, hinted
 //! handoff), and reports throughput relative to the fault-free baseline
-//! alongside the resilience counters and the run-validity verdict.
+//! alongside the resilience counters and the run-validity verdict. The
+//! process exits nonzero if any case goes INVALID, so CI can gate on it
+//! directly.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fault_sweep [scale]
@@ -230,6 +232,11 @@ fn main() {
     }
 
     export_metrics(&rows);
+
+    if !ok {
+        eprintln!("FAIL: at least one fault case went INVALID");
+        std::process::exit(1);
+    }
 }
 
 /// Writes the unified registry to `$METRICS_EXPORT_DIR/fault_sweep.json`

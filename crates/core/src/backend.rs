@@ -68,6 +68,19 @@ impl From<gateway::GatewayError> for BackendError {
     }
 }
 
+/// Wire failures keep their transport-level classification: timeouts and
+/// connection drops are retryable (the pool re-dials), protocol errors
+/// (version skew, oversized or malformed frames) are not.
+impl From<wire::WireError> for BackendError {
+    fn from(e: wire::WireError) -> BackendError {
+        if e.is_transient() {
+            BackendError::transient(e.to_string())
+        } else {
+            BackendError::permanent(e.to_string())
+        }
+    }
+}
+
 pub type BackendResult<T> = Result<T, BackendError>;
 
 /// Degraded-mode counters a backend exposes for run accounting. All
@@ -100,6 +113,9 @@ pub struct ResilienceCounters {
     /// Writes that detected a stale routing epoch after replication and
     /// re-wrote against the new replica set.
     pub stale_route_retries: u64,
+    /// Migration copy chunks that paused at the configured in-flight
+    /// copy budget — the drain throttle yielding bandwidth to ingest.
+    pub migration_throttled: u64,
 }
 
 impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
@@ -118,6 +134,7 @@ impl From<gateway::cluster::ResilienceStats> for ResilienceCounters {
             migrations_completed: r.migrations_completed,
             migrations_aborted: r.migrations_aborted,
             stale_route_retries: r.stale_route_retries,
+            migration_throttled: r.migration_throttled,
         }
     }
 }

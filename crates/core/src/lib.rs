@@ -37,7 +37,10 @@
 //!   the sustained-rate validator,
 //! * [`experiment`] — the paper's evaluation harness (Tables I–III,
 //!   Figures 8 and 10–16) over either the real in-process cluster or the
-//!   calibrated simulation.
+//!   calibrated simulation,
+//! * [`netplane`] — the networked benchmark plane: a controller driving
+//!   a fleet of driver agents over the `wire` protocol, with the gateway
+//!   cluster behind a real TCP socket.
 
 pub mod backend;
 pub mod checks;
@@ -47,6 +50,7 @@ pub mod experiment;
 pub mod keys;
 pub mod md5;
 pub mod metrics;
+pub mod netplane;
 pub mod pricing;
 pub mod query;
 pub mod report;
@@ -61,6 +65,7 @@ pub use datagen::ReadingGenerator;
 pub use driver::DriverInstance;
 pub use keys::{decode_reading, encode_reading, SensorReading, KVP_SIZE};
 pub use metrics::{iotps, price_performance, BenchmarkMetrics};
+pub use netplane::{run_agent, run_networked, spawn_local_agent, FleetConfig, NetBackend};
 pub use query::{QueryKind, QueryOutcome, QuerySpec};
 pub use retry::{with_retry, RetryPolicy};
 pub use rules::{RuleReport, Rules};

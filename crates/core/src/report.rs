@@ -132,12 +132,14 @@ pub fn full_disclosure_report(
             let _ = writeln!(
                 out,
                 "topology: {} splits, {} drains; migrations {} started / \
-                 {} completed / {} aborted; {} stale-route retries",
+                 {} completed / {} aborted / {} throttle pauses; \
+                 {} stale-route retries",
                 b.splits,
                 b.drains,
                 b.migrations_started,
                 b.migrations_completed,
                 b.migrations_aborted,
+                b.migration_throttled,
                 b.stale_route_retries,
             );
         }

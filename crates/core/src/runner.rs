@@ -259,8 +259,27 @@ impl BenchmarkRunner {
         }
     }
 
-    /// Runs the complete benchmark against `sut` (Fig 6's flow).
+    /// Runs the complete benchmark against `sut` (Fig 6's flow) with
+    /// in-process driver instances.
     pub fn run(&self, sut: &mut dyn SystemUnderTest) -> BenchmarkOutcome {
+        self.run_with(sut, |sut, seed, epoch_ms, phase| {
+            Ok(self.run_execution(sut, seed, epoch_ms, phase))
+        })
+    }
+
+    /// The benchmark protocol with the workload execution abstracted
+    /// out: prerequisite checks, two iterations of warm-up + measured
+    /// with data checks and cleanup in between, metric derivation.
+    /// `exec` performs one workload execution — in-process driver
+    /// threads for [`BenchmarkRunner::run`], a remote agent fleet for
+    /// the networked controller. An `Err` from `exec` (e.g. an agent
+    /// died mid-run) aborts the benchmark with an INVALID verdict
+    /// carrying the reason — never a hang, never a silent VALID.
+    pub(crate) fn run_with(
+        &self,
+        sut: &mut dyn SystemUnderTest,
+        mut exec: impl FnMut(&dyn SystemUnderTest, u64, u64, Phase) -> Result<ExecutionOutcome, String>,
+    ) -> BenchmarkOutcome {
         let mut prerequisite_checks = Vec::new();
         if let Some((root, manifest)) = &self.config.kit {
             prerequisite_checks.push(file_check(root, manifest));
@@ -282,59 +301,20 @@ impl BenchmarkRunner {
 
         let mut iterations = Vec::new();
         for iteration in 0..2u64 {
-            let warm_seed = derive_seed(self.config.seed, iteration * 2);
-            let meas_seed = derive_seed(self.config.seed, iteration * 2 + 1);
-            // One virtual hour between executions keeps their key ranges
-            // disjoint, as wall-clock time does in a real run.
-            let base_epoch = 1_700_000_000_000u64 + iteration * 7_200_000;
-            let warmup = self.run_execution(sut, warm_seed, base_epoch, Phase::Warmup);
-            let measured =
-                self.run_execution(sut, meas_seed, base_epoch + 3_600_000, Phase::Measured);
-            // Data check: warm-up and measured each ingested the full
-            // workload into the (un-purged) store.
-            let expected = 2 * self.config.total_kvps;
-            let check = data_check(sut.backend().as_ref(), expected);
-            let facts = RunFacts {
-                elapsed_secs: measured.elapsed_secs.min(warmup.elapsed_secs),
-                ingested_kvps: measured.ingested,
-                substations: self.config.substations,
-                sensors_per_substation: SENSORS_PER_SUBSTATION as u64,
-                avg_rows_per_query: measured.avg_rows_per_query,
+            let plan = iteration_plan(self.config.seed, iteration);
+            let warmup = match exec(&*sut, plan.warm_seed, plan.warm_epoch_ms, Phase::Warmup) {
+                Ok(outcome) => outcome,
+                Err(reason) => {
+                    return self.abort_outcome(sut, prerequisite_checks, iterations, reason)
+                }
             };
-            let rule_report = validate(&self.config.rules, &facts);
-            let resilience = ResilienceSummary {
-                insert_retries: warmup.insert_retries + measured.insert_retries,
-                query_retries: warmup.query_retries + measured.query_retries,
-                insert_failures: warmup.insert_failures + measured.insert_failures,
-                backend: sut.backend().resilience(),
+            let measured = match exec(&*sut, plan.meas_seed, plan.meas_epoch_ms, Phase::Measured) {
+                Ok(outcome) => outcome,
+                Err(reason) => {
+                    return self.abort_outcome(sut, prerequisite_checks, iterations, reason)
+                }
             };
-            // Acknowledged = what the drivers saw succeed across both
-            // executions; persisted = what the backend reports ingested.
-            let acknowledged = warmup.ingested + measured.ingested;
-            let mut validity = degraded_run_verdict(
-                acknowledged,
-                sut.backend().ingested_count(),
-                facts.per_sensor_rate(),
-                self.config.rules.min_per_sensor_rate,
-            );
-            apply_sustained_rate(&mut validity, &measured.rate_violations);
-            // Engine/cluster counters must be sampled now: cleanup resets
-            // them along with the data.
-            let engine = sut.engine_counters();
-            let cluster = sut.cluster_counters();
-            // An inconsistent routing table after online splits,
-            // migrations, or drains invalidates the iteration.
-            apply_topology_check(&mut validity, cluster.as_ref());
-            iterations.push(IterationOutcome {
-                warmup,
-                measured,
-                data_check: check,
-                rule_report,
-                resilience,
-                validity,
-                engine,
-                cluster,
-            });
+            iterations.push(judge_iteration(&self.config, &*sut, warmup, measured));
             // System cleanup between iterations (and after the last, so
             // the SUT is left pristine).
             if let Err(e) = sut.cleanup() {
@@ -375,13 +355,111 @@ impl BenchmarkRunner {
             registry,
         }
     }
+
+    /// The outcome of a run a failed execution cut short: whatever
+    /// iterations completed, no derived metrics, and an INVALID verdict
+    /// naming the failure.
+    fn abort_outcome(
+        &self,
+        sut: &mut dyn SystemUnderTest,
+        prerequisite_checks: Vec<CheckResult>,
+        iterations: Vec<IterationOutcome>,
+        reason: String,
+    ) -> BenchmarkOutcome {
+        let mut registry = build_registry(&iterations);
+        registry.verdict = "INVALID".into();
+        registry.verdict_reasons.push(reason);
+        BenchmarkOutcome {
+            prerequisite_checks,
+            iterations,
+            metrics: None,
+            sut_description: sut.describe(),
+            registry,
+        }
+    }
+}
+
+/// Seeds and virtual acquisition epochs of one iteration's two workload
+/// executions. One virtual hour between executions keeps their key
+/// ranges disjoint, as wall-clock time does in a real run. Derived only
+/// from the root seed and iteration number, so the in-process runner and
+/// the networked controller replay identical schedules.
+pub(crate) struct IterationPlan {
+    pub warm_seed: u64,
+    pub meas_seed: u64,
+    pub warm_epoch_ms: u64,
+    pub meas_epoch_ms: u64,
+}
+
+pub(crate) fn iteration_plan(root_seed: u64, iteration: u64) -> IterationPlan {
+    let base_epoch = 1_700_000_000_000u64 + iteration * 7_200_000;
+    IterationPlan {
+        warm_seed: derive_seed(root_seed, iteration * 2),
+        meas_seed: derive_seed(root_seed, iteration * 2 + 1),
+        warm_epoch_ms: base_epoch,
+        meas_epoch_ms: base_epoch + 3_600_000,
+    }
+}
+
+/// Judges one completed iteration: data check (warm-up and measured each
+/// ingested the full workload into the un-purged store), execution
+/// rules, resilience accounting, the degraded-run verdict, and the
+/// engine/cluster counter sample — which must happen here, *before* the
+/// cleanup that resets them.
+pub(crate) fn judge_iteration(
+    config: &BenchmarkConfig,
+    sut: &dyn SystemUnderTest,
+    warmup: ExecutionOutcome,
+    measured: ExecutionOutcome,
+) -> IterationOutcome {
+    let expected = 2 * config.total_kvps;
+    let check = data_check(sut.backend().as_ref(), expected);
+    let facts = RunFacts {
+        elapsed_secs: measured.elapsed_secs.min(warmup.elapsed_secs),
+        ingested_kvps: measured.ingested,
+        substations: config.substations,
+        sensors_per_substation: SENSORS_PER_SUBSTATION as u64,
+        avg_rows_per_query: measured.avg_rows_per_query,
+    };
+    let rule_report = validate(&config.rules, &facts);
+    let resilience = ResilienceSummary {
+        insert_retries: warmup.insert_retries + measured.insert_retries,
+        query_retries: warmup.query_retries + measured.query_retries,
+        insert_failures: warmup.insert_failures + measured.insert_failures,
+        backend: sut.backend().resilience(),
+    };
+    // Acknowledged = what the drivers saw succeed across both
+    // executions; persisted = what the backend reports ingested.
+    let acknowledged = warmup.ingested + measured.ingested;
+    let mut validity = degraded_run_verdict(
+        acknowledged,
+        sut.backend().ingested_count(),
+        facts.per_sensor_rate(),
+        config.rules.min_per_sensor_rate,
+    );
+    apply_sustained_rate(&mut validity, &measured.rate_violations);
+    let engine = sut.engine_counters();
+    let cluster = sut.cluster_counters();
+    // An inconsistent routing table after online splits, migrations, or
+    // drains invalidates the iteration.
+    apply_topology_check(&mut validity, cluster.as_ref());
+    IterationOutcome {
+        warmup,
+        measured,
+        data_check: check,
+        rule_report,
+        resilience,
+        validity,
+        engine,
+        cluster,
+    }
 }
 
 /// Assembles the unified [`MetricsRegistry`] from completed iterations:
 /// every execution phase labelled `iter<N>/<phase>`, engine and cluster
 /// counters summed across iterations, and the overall verdict (an
 /// invalid iteration invalidates the whole result).
-fn build_registry(iterations: &[IterationOutcome]) -> MetricsRegistry {
+pub(crate) fn build_registry(iterations: &[IterationOutcome]) -> MetricsRegistry {
     let mut registry = MetricsRegistry::new();
     let mut engine = EngineCounters::default();
     let mut saw_engine = false;
@@ -436,6 +514,18 @@ impl GatewaySut {
         GatewaySut {
             cluster: Arc::new(parking_lot::RwLock::new(cluster)),
         }
+    }
+
+    /// Wraps an already-shared cluster — the networked controller hands
+    /// the same handle to the socket server and the benchmark protocol.
+    pub fn from_shared(cluster: Arc<parking_lot::RwLock<gateway::Cluster>>) -> GatewaySut {
+        GatewaySut { cluster }
+    }
+
+    /// The shared cluster handle (e.g. to start a
+    /// [`gateway::GatewayServer`] over it).
+    pub fn shared(&self) -> Arc<parking_lot::RwLock<gateway::Cluster>> {
+        Arc::clone(&self.cluster)
     }
 }
 

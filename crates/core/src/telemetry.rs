@@ -170,6 +170,41 @@ impl ThreadRecorder {
         &self.hists[class.index()]
     }
 
+    /// The per-window ingest throughput series (kvps per window).
+    pub fn ingest_series(&self) -> &TimeSeries {
+        &self.ingest_series
+    }
+
+    /// The per-window query throughput series.
+    pub fn query_series(&self) -> &TimeSeries {
+        &self.query_series
+    }
+
+    /// The per-window rows-streamed series.
+    pub fn scan_rows_series(&self) -> &TimeSeries {
+        &self.scan_rows_series
+    }
+
+    /// Rebuilds a recorder from serialized state (histograms in
+    /// [`OpClass`] index order plus the three series) — the receiving end
+    /// of an agent-shipped snapshot. Merging rebuilt recorders is
+    /// bit-identical to merging the originals.
+    pub fn from_parts(
+        window_nanos: u64,
+        hists: [Histogram; 6],
+        ingest_series: TimeSeries,
+        query_series: TimeSeries,
+        scan_rows_series: TimeSeries,
+    ) -> ThreadRecorder {
+        ThreadRecorder {
+            window_nanos,
+            hists,
+            ingest_series,
+            query_series,
+            scan_rows_series,
+        }
+    }
+
     /// Width of this recorder's throughput windows.
     pub fn window_nanos(&self) -> u64 {
         self.window_nanos
@@ -243,6 +278,13 @@ impl RunTelemetry {
     /// Snapshot of everything recorded so far.
     pub fn snapshot(&self) -> PhaseSnapshot {
         self.merged.lock().snapshot(self.phase)
+    }
+
+    /// A clone of the merged recorder's raw state — what a networked
+    /// agent ships to the controller, which merges the fleet's recorders
+    /// bit-identically to an in-process merge.
+    pub fn merged_recorder(&self) -> ThreadRecorder {
+        self.merged.lock().clone()
     }
 }
 
@@ -454,6 +496,9 @@ pub struct ClusterCounters {
     /// Writes that re-ran against a newer routing epoch after detecting
     /// a stale route.
     pub stale_route_retries: u64,
+    /// Migration copy chunks that paused at the in-flight budget so
+    /// foreground ingest keeps its share of the cluster.
+    pub migration_throttled: u64,
     /// Routing-table version at sample time (bumped by every topology
     /// mutation).
     pub epoch: u64,
@@ -488,6 +533,7 @@ impl From<&gateway::ClusterStats> for ClusterCounters {
             migrations_completed: s.resilience.migrations_completed,
             migrations_aborted: s.resilience.migrations_aborted,
             stale_route_retries: s.resilience.stale_route_retries,
+            migration_throttled: s.resilience.migration_throttled,
             epoch: s.epoch,
             topology_ok: s.topology_ok,
         }
@@ -539,6 +585,7 @@ impl ClusterCounters {
         self.migrations_completed += other.migrations_completed;
         self.migrations_aborted += other.migrations_aborted;
         self.stale_route_retries += other.stale_route_retries;
+        self.migration_throttled += other.migration_throttled;
         // The merged epoch is the furthest routing version any sample
         // saw; consistency must have held in *every* sample.
         self.epoch = self.epoch.max(other.epoch);
@@ -703,7 +750,7 @@ impl MetricsRegistry {
                      \"scan_resumes\": {}, \"splits\": {}, \"drains\": {}, \
                      \"migrations_started\": {}, \"migrations_completed\": {}, \
                      \"migrations_aborted\": {}, \"stale_route_retries\": {}, \
-                     \"epoch\": {}, \"topology_ok\": {}}}",
+                     \"migration_throttled\": {}, \"epoch\": {}, \"topology_ok\": {}}}",
                     c.failover_reads,
                     c.under_replicated_writes,
                     c.hinted_writes,
@@ -717,6 +764,7 @@ impl MetricsRegistry {
                     c.migrations_completed,
                     c.migrations_aborted,
                     c.stale_route_retries,
+                    c.migration_throttled,
                     c.epoch,
                     c.topology_ok,
                 );
@@ -833,6 +881,7 @@ impl MetricsRegistry {
                 ("migrations_completed", c.migrations_completed),
                 ("migrations_aborted", c.migrations_aborted),
                 ("stale_route_retries", c.stale_route_retries),
+                ("migration_throttled", c.migration_throttled),
             ] {
                 let _ = writeln!(out, "tpcx_iot_cluster{{counter=\"{name}\"}} {v}");
             }
@@ -1222,6 +1271,7 @@ mod tests {
         assert!(a.contains("\"ingest_windows\""));
         assert!(a.contains("\"scan_rows_windows\": [42]"));
         assert!(a.contains("\"scan_retries\": 0"));
+        assert!(a.contains("\"migration_throttled\": 0"));
         assert!(a.contains("\"epoch\": 0"));
         assert!(a.contains("\"topology_ok\": true"));
         assert!(a.contains("\"p999\""));
@@ -1239,6 +1289,7 @@ mod tests {
         ));
         assert!(prom.contains("tpcx_iot_engine{counter=\"wal_syncs\"} 7"));
         assert!(prom.contains("tpcx_iot_cluster{counter=\"migrations_completed\"} 0"));
+        assert!(prom.contains("tpcx_iot_cluster{counter=\"migration_throttled\"} 0"));
         assert!(prom.contains("tpcx_iot_cluster_epoch 0"));
         assert!(prom.contains("tpcx_iot_cluster_topology_ok 1"));
         assert!(prom.contains("tpcx_iot_run_valid 1"));

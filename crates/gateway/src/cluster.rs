@@ -18,6 +18,7 @@ use simkit::sync::{AtomicU64, Mutex, Ordering};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cluster configuration.
 #[derive(Clone, Debug)]
@@ -36,6 +37,14 @@ pub struct ClusterConfig {
     /// Optional fault-injection plan (crashes, latency, transient
     /// errors). `None` runs the cluster fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Migration/drain pacing: number of copy chunks a migration may
+    /// move back-to-back before it must pause for `migration_pacing`.
+    /// `0` disables throttling (copy as fast as possible).
+    pub migration_copy_budget: u32,
+    /// How long a migration sleeps each time it exhausts the copy
+    /// budget. Together with the budget this caps the share of storage
+    /// bandwidth a drain can steal from foreground ingest.
+    pub migration_pacing: Duration,
 }
 
 impl ClusterConfig {
@@ -47,6 +56,11 @@ impl ClusterConfig {
             storage: Options::default(),
             data_dir: data_dir.into(),
             fault_plan: None,
+            // Modest default budget: a migration may copy 8 chunks
+            // (~1k rows) before yielding for 50µs, enough to keep a
+            // drain from monopolizing the storage engines.
+            migration_copy_budget: 8,
+            migration_pacing: Duration::from_micros(50),
         }
     }
 
@@ -123,6 +137,9 @@ pub struct ResilienceStats {
     /// Writes that detected a topology-epoch change after landing and
     /// re-wrote themselves against the new replica set.
     pub stale_route_retries: u64,
+    /// Migration copy chunks that paused at the in-flight copy budget
+    /// (the drain throttle yielding bandwidth back to foreground ingest).
+    pub migration_throttled: u64,
 }
 
 /// Point-in-time cluster statistics.
@@ -208,6 +225,7 @@ pub struct Cluster {
     pub(crate) migrations_completed: AtomicU64,
     pub(crate) migrations_aborted: AtomicU64,
     stale_route_retries: AtomicU64,
+    pub(crate) migration_throttled: AtomicU64,
 }
 
 impl Cluster {
@@ -272,6 +290,7 @@ impl Cluster {
             migrations_completed: AtomicU64::new(0),
             migrations_aborted: AtomicU64::new(0),
             stale_route_retries: AtomicU64::new(0),
+            migration_throttled: AtomicU64::new(0),
         })
     }
 
@@ -799,6 +818,7 @@ impl Cluster {
         self.migrations_completed.store(0, Ordering::Relaxed);
         self.migrations_aborted.store(0, Ordering::Relaxed);
         self.stale_route_retries.store(0, Ordering::Relaxed);
+        self.migration_throttled.store(0, Ordering::Relaxed);
         // Restart the fault plan too: each iteration faces the same
         // schedule, so warm-up and measured runs degrade identically.
         self.fault = self
@@ -832,6 +852,7 @@ impl Cluster {
             migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
             migrations_aborted: self.migrations_aborted.load(Ordering::Relaxed),
             stale_route_retries: self.stale_route_retries.load(Ordering::Relaxed),
+            migration_throttled: self.migration_throttled.load(Ordering::Relaxed),
         }
     }
 

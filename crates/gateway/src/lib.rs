@@ -24,6 +24,7 @@
 pub mod cluster;
 pub mod fault;
 pub mod region;
+pub mod server;
 pub mod store_adapter;
 pub mod topology;
 
@@ -32,6 +33,7 @@ pub use fault::{
     CrashEvent, FaultCounters, FaultPlan, FaultState, FaultVerdict, TopologyAction, TopologyEvent,
 };
 pub use region::{Region, RegionMap};
+pub use server::GatewayServer;
 pub use store_adapter::GatewayKvStore;
 
 /// Errors surfaced by the cluster.

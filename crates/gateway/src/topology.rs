@@ -21,7 +21,11 @@
 //!      liveness between chunks: a dead destination aborts the
 //!      migration, a dead source resumes the copy on another live
 //!      replica from the successor of the last copied key (the PR-4
-//!      resume machinery applied to migration),
+//!      resume machinery applied to migration). The copy is *paced*:
+//!      after [`ClusterConfig::migration_copy_budget`] back-to-back
+//!      chunks it pauses for [`ClusterConfig::migration_pacing`]
+//!      (counted in `migration_throttled`), so a drain cannot starve
+//!      foreground ingest of storage bandwidth,
 //!   3. *finalize*: under the region-map write lock the delta is
 //!      drained into the destination, the context deactivated, and the
 //!      replica set swapped ([`RegionMap::swap_replica`]) — bumping the
@@ -390,7 +394,10 @@ impl Cluster {
     /// replica into `dest`, re-checking liveness every
     /// [`COPY_CHUNK_ROWS`] rows. A dead destination aborts; a dead
     /// source resumes on another live replica from the successor of the
-    /// last copied key. Returns whether the copy completed.
+    /// last copied key. Every `migration_copy_budget` chunks the copy
+    /// pauses for `migration_pacing` (tallied in `migration_throttled`)
+    /// so foreground ingest keeps its share of the storage engines.
+    /// Returns whether the copy completed.
     fn copy_region_rows(
         &self,
         start: &Bytes,
@@ -420,9 +427,20 @@ impl Cluster {
         let mut iter = self.node(source).db.scan_iter(start, &hi);
         let mut last_copied: Option<Bytes> = None;
         let mut rows_since_check = 0u64;
+        let mut chunks_since_pause = 0u64;
+        let budget = self.config.migration_copy_budget as u64;
         loop {
             if rows_since_check >= COPY_CHUNK_ROWS {
                 rows_since_check = 0;
+                chunks_since_pause += 1;
+                if budget > 0 && chunks_since_pause >= budget {
+                    chunks_since_pause = 0;
+                    // ordering: Relaxed — statistics counter.
+                    self.migration_throttled.fetch_add(1, Ordering::Relaxed);
+                    if !self.config.migration_pacing.is_zero() {
+                        std::thread::sleep(self.config.migration_pacing);
+                    }
+                }
                 // `now()` reads the clock without ticking it: the copy
                 // must not perturb the deterministic event schedule.
                 let now = self.fault.as_ref().map_or(0, |f| f.now());
@@ -622,6 +640,56 @@ mod tests {
         c.put(b"k9999", b"late").unwrap();
         assert_eq!(c.get(b"k9999").unwrap().unwrap().as_ref(), b"late");
         assert!(c.stats().node_writes[3] > 0);
+        destroy(c);
+    }
+
+    #[test]
+    fn migration_copy_budget_throttles_and_counts() {
+        // Budget of 1 chunk: every COPY_CHUNK_ROWS (128) rows copied the
+        // migration must pause once. 250 rows present at the NodeAdd
+        // event → one full chunk boundary → exactly one throttle pause.
+        let plan = FaultPlan::quiet(10).with_node_add(250);
+        let mut config = ClusterConfig::new(tmpdir("throttle"), 3);
+        config.storage = iotkv::Options::small();
+        config.fault_plan = Some(plan);
+        config.migration_copy_budget = 1;
+        config.migration_pacing = std::time::Duration::from_micros(1);
+        let c = Cluster::start(config).unwrap();
+        for i in 0..300 {
+            c.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.resilience.migrations_completed, 1);
+        assert!(
+            stats.resilience.migration_throttled >= 1,
+            "budget 1 over >128 rows must pause at least once: {stats:?}"
+        );
+        assert!(stats.topology_ok);
+        assert_eq!(
+            c.scan(b"k", b"l", usize::MAX).unwrap().len(),
+            300,
+            "pacing loses nothing"
+        );
+        destroy(c);
+    }
+
+    #[test]
+    fn zero_copy_budget_disables_throttling() {
+        let plan = FaultPlan::quiet(11).with_node_add(250);
+        let mut config = ClusterConfig::new(tmpdir("no-throttle"), 3);
+        config.storage = iotkv::Options::small();
+        config.fault_plan = Some(plan);
+        config.migration_copy_budget = 0;
+        let c = Cluster::start(config).unwrap();
+        for i in 0..300 {
+            c.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.resilience.migrations_completed, 1);
+        assert_eq!(
+            stats.resilience.migration_throttled, 0,
+            "budget 0 = unthrottled"
+        );
         destroy(c);
     }
 

@@ -148,6 +148,52 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of squares (for serialization; `stddev` derives from it).
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// The nonzero `(bucket index, count)` pairs in ascending index
+    /// order — the sparse representation shipped over the wire.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuilds a histogram from serialized sufficient state: exact
+    /// moments plus sparse nonzero buckets. Out-of-range bucket indices
+    /// are ignored (they cannot arise from [`Histogram::nonzero_buckets`]
+    /// of a same-build histogram). The inverse of serializing `count()`,
+    /// `sum()`, `sum_sq()`, `min()`, `max()` and `nonzero_buckets()`:
+    /// merging reconstructed histograms is bit-identical to merging the
+    /// originals.
+    pub fn from_parts(
+        count: u64,
+        sum: u128,
+        sum_sq: f64,
+        min: u64,
+        max: u64,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.sum_sq = sum_sq;
+        // `min()` reports 0 for an empty histogram; restore the internal
+        // sentinel so merges keep treating it as empty.
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        for (i, c) in buckets {
+            if let Some(slot) = h.counts.get_mut(i) {
+                *slot = c;
+            }
+        }
+        h
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -254,6 +300,14 @@ impl Moments {
             self.max
         }
     }
+    /// The raw sufficient statistics `(n, mean, m2, min, max)` — the
+    /// serialization counterpart of [`Moments::restore`]. The ±infinity
+    /// min/max sentinels of an empty accumulator ship as-is, so a
+    /// rebuilt accumulator keeps recording correctly.
+    pub fn parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
     /// Rebuilds an accumulator from sufficient statistics — the parallel
     /// merge (Chan et al.) of two accumulators produces these directly.
     pub fn restore(&mut self, n: u64, mean: f64, m2: f64, min: f64, max: f64) {
@@ -305,6 +359,15 @@ impl TimeSeries {
 
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// Rebuilds a series from serialized buckets (wire transport).
+    pub fn from_buckets(interval_nanos: u64, buckets: Vec<u64>) -> TimeSeries {
+        assert!(interval_nanos > 0);
+        TimeSeries {
+            interval_nanos,
+            buckets,
+        }
     }
 
     pub fn interval_nanos(&self) -> u64 {
@@ -402,6 +465,47 @@ mod tests {
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
         assert_eq!(a.value_at_quantile(0.9), all.value_at_quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 17, 100, 5_000, 1 << 40] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.sum_sq(),
+            h.min(),
+            h.max(),
+            h.nonzero_buckets(),
+        );
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.sum_sq(), h.sum_sq());
+        assert_eq!(rebuilt.min(), h.min());
+        assert_eq!(rebuilt.max(), h.max());
+        for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+            assert_eq!(rebuilt.value_at_quantile(q), h.value_at_quantile(q));
+        }
+        // An empty rebuild stays mergeable as empty (min sentinel intact).
+        let empty = Histogram::from_parts(0, 0, 0.0, 0, 0, std::iter::empty());
+        let mut merged = empty.clone();
+        merged.merge(&h);
+        assert_eq!(merged.min(), h.min());
+        assert_eq!(merged.summary(), h.summary());
+    }
+
+    #[test]
+    fn time_series_from_buckets_round_trips() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.add(100, 4);
+        ts.add(2_500, 9);
+        let rebuilt = TimeSeries::from_buckets(ts.interval_nanos(), ts.buckets().to_vec());
+        assert_eq!(rebuilt.buckets(), ts.buckets());
+        assert_eq!(rebuilt.interval_nanos(), ts.interval_nanos());
+        assert_eq!(rebuilt.total(), 13);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! `wire` — the benchmark plane's binary RPC layer.
+//!
+//! TPCx-IoT's measured configuration is distributed: driver machines
+//! inject sensor traffic into the gateway SUT over a network, and a
+//! controller orchestrates the warm-up/measured protocol across them.
+//! This crate is the whole protocol stack for that split, hand-rolled
+//! because the workspace is offline (no tonic, no serde):
+//!
+//! * **Framing** ([`frame`]): every message travels as one frame —
+//!   a little-endian `u32` length, one tag byte, then the payload.
+//!   [`frame::FrameConn`] is the only sanctioned raw-read site in the
+//!   workspace (the analyzer's `wire-bounded` rule enforces this); it
+//!   caps frame lengths at [`MAX_FRAME_LEN`] and requires a socket read
+//!   timeout, so a malformed or silent peer can never wedge a reader.
+//! * **Handshake**: connections open with `Hello{version, role}` /
+//!   `HelloAck{version}`. A version mismatch is a *permanent* error —
+//!   retrying cannot fix a protocol skew.
+//! * **Codecs** ([`msg`]): fixed-layout encode/decode for the control
+//!   plane (Hello/Ping/RunPhase/PhaseDone/Shutdown) and the data plane
+//!   (Put/PutBatch/Scan streaming), plus raw-state snapshots
+//!   ([`msg::RecorderState`], [`msg::OpSummary`]) that let agents ship
+//!   exact histogram and moment state — the controller's merge is then
+//!   bit-identical to an in-process run.
+//!
+//! Errors are kinded ([`WireError::is_transient`]) so the core crate can
+//! map them onto its `BackendError` taxonomy: timeouts and connection
+//! resets are retryable, protocol violations are not.
+//!
+//! This crate deliberately depends on nothing — `core` and `gateway`
+//! both sit above it.
+
+use std::fmt;
+use std::time::Duration;
+
+pub mod frame;
+pub mod msg;
+
+pub use frame::FrameConn;
+pub use msg::{
+    HistogramState, Message, MomentsState, OpSummary, RecorderState, RetryState, RunPhaseSpec,
+    SeriesState,
+};
+
+/// Protocol version carried in the handshake. Bump on any layout change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard cap on one frame's length (tag + payload). Frames beyond this
+/// are a protocol violation, not a transport hiccup.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Default per-frame read timeout. Generous: a frame read may span a
+/// whole workload execution on the control plane (the controller waits
+/// on `PhaseDone`), but it must not be infinite — a hung peer surfaces
+/// as a timeout, never as a wedged reader.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How a wire failure relates to retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Transport hiccup (timeout, reset, refused): reconnecting and
+    /// retrying the operation can succeed.
+    Transient,
+    /// Protocol violation (version skew, oversized frame, malformed
+    /// payload): retrying reproduces the same failure.
+    Permanent,
+}
+
+/// A kinded wire-layer error.
+#[derive(Clone, Debug)]
+pub struct WireError {
+    pub kind: WireErrorKind,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn transient(message: impl Into<String>) -> WireError {
+        WireError {
+            kind: WireErrorKind::Transient,
+            message: message.into(),
+        }
+    }
+
+    pub fn permanent(message: impl Into<String>) -> WireError {
+        WireError {
+            kind: WireErrorKind::Permanent,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.kind == WireErrorKind::Transient
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            WireErrorKind::Transient => "transient",
+            WireErrorKind::Permanent => "permanent",
+        };
+        write!(f, "wire ({kind}): {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Every io-layer failure maps onto the retry taxonomy: connectivity
+/// failures are transient (the peer may come back; the connection can be
+/// re-dialed), anything else — including decode-level `InvalidData` —
+/// is permanent.
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        use std::io::ErrorKind as K;
+        let transient = matches!(
+            e.kind(),
+            K::TimedOut
+                | K::WouldBlock
+                | K::Interrupted
+                | K::ConnectionReset
+                | K::ConnectionAborted
+                | K::ConnectionRefused
+                | K::BrokenPipe
+                | K::UnexpectedEof
+                | K::NotConnected
+                | K::AddrInUse
+        );
+        WireError {
+            kind: if transient {
+                WireErrorKind::Transient
+            } else {
+                WireErrorKind::Permanent
+            },
+            message: format!("io: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_are_kinded() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::TimedOut,
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let w: WireError = Error::new(kind, "x").into();
+            assert!(w.is_transient(), "{kind:?} must be transient");
+        }
+        let w: WireError = Error::new(ErrorKind::InvalidData, "x").into();
+        assert!(!w.is_transient(), "decode failures must be permanent");
+    }
+
+    #[test]
+    fn display_names_the_kind() {
+        let t = WireError::transient("socket reset");
+        let p = WireError::permanent("version skew");
+        assert!(t.to_string().contains("transient"));
+        assert!(p.to_string().contains("permanent"));
+    }
+}

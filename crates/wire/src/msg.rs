@@ -1,0 +1,786 @@
+//! Message codecs: fixed-layout little-endian encode/decode for every
+//! protocol message. No reflection, no schema compiler — each message
+//! writes its fields in a documented order and reads them back with a
+//! bounds-checked cursor, so a truncated or hostile payload surfaces as
+//! a permanent [`WireError`], never a panic or an over-read.
+//!
+//! | tag  | message    | direction              | payload                          |
+//! |------|------------|------------------------|----------------------------------|
+//! | 0x01 | Hello      | client → server        | version u32, role u8             |
+//! | 0x02 | HelloAck   | server → client        | version u32                      |
+//! | 0x03 | Ping       | controller → agent     | —                                |
+//! | 0x04 | Pong       | agent → controller     | —                                |
+//! | 0x05 | Ok         | server → client        | —                                |
+//! | 0x06 | Err        | server → client        | transient u8, message str        |
+//! | 0x10 | Put        | driver → gateway       | key bytes, value bytes           |
+//! | 0x11 | PutBatch   | driver → gateway       | n u32, n × (key, value)          |
+//! | 0x12 | Scan       | driver → gateway       | start, end bytes, limit u64      |
+//! | 0x13 | ScanRow    | gateway → driver       | key bytes, value bytes           |
+//! | 0x14 | ScanDone   | gateway → driver       | rows u64                         |
+//! | 0x15 | GetStats   | driver → gateway       | —                                |
+//! | 0x16 | Stats      | gateway → driver       | replication u32, ingested u64    |
+//! | 0x20 | RunPhase   | controller → agent     | [`RunPhaseSpec`]                 |
+//! | 0x21 | PhaseDone  | agent → controller     | summaries, [`RecorderState`]     |
+//! | 0x22 | Shutdown   | controller → agent     | —                                |
+
+use crate::WireError;
+
+/// Client roles carried in `Hello`.
+pub const ROLE_AGENT: u8 = 0;
+pub const ROLE_DRIVER: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Payload structs
+// ---------------------------------------------------------------------------
+
+/// Sufficient statistics of a Welford accumulator (rows-per-query).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MomentsState {
+    pub n: u64,
+    pub mean: f64,
+    pub m2: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// One driver instance's report, shipped per substation so the
+/// controller aggregates in global substation order — exactly the order
+/// the in-process runner folds reports in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSummary {
+    pub substation: u32,
+    pub ingested: u64,
+    pub insert_failures: u64,
+    pub insert_retries: u64,
+    pub queries: u64,
+    pub query_failures: u64,
+    pub query_retries: u64,
+    pub rows: MomentsState,
+    pub elapsed_secs: f64,
+}
+
+/// Raw histogram state: exact moments plus the nonzero log-linear
+/// buckets. Shipping raw state (not quantile summaries) keeps the
+/// controller-side merge bit-identical to an in-process merge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramState {
+    pub count: u64,
+    /// The u128 sum split into two u64 halves (hi, lo).
+    pub sum_hi: u64,
+    pub sum_lo: u64,
+    /// `f64::to_bits` of the sum of squares — bit-exact transport.
+    pub sum_sq_bits: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Nonzero `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A fixed-interval time series (windowed throughput counters).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesState {
+    pub interval_nanos: u64,
+    pub buckets: Vec<u64>,
+}
+
+/// A telemetry recorder's complete raw state: the six per-class latency
+/// histograms and the three throughput series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecorderState {
+    pub window_nanos: u64,
+    /// Exactly six entries, in `OpClass` index order.
+    pub hists: Vec<HistogramState>,
+    pub ingest: SeriesState,
+    pub query: SeriesState,
+    pub scan_rows: SeriesState,
+}
+
+/// A retry policy flattened to wire scalars (durations in nanoseconds,
+/// saturated at `u64::MAX`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryState {
+    pub max_attempts: u32,
+    pub base_backoff_nanos: u64,
+    pub max_backoff_nanos: u64,
+    pub deadline_nanos: u64,
+    pub jitter: f64,
+}
+
+/// Everything an agent needs to run its substation range of one
+/// workload execution. The seed is the *phase* seed; the agent derives
+/// per-substation seeds from the global substation index, so the fleet
+/// partitioning never changes the schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunPhaseSpec {
+    /// 0 = warm-up, 1 = measured.
+    pub phase: u8,
+    pub seed: u64,
+    pub epoch_ms: u64,
+    /// This agent's substation range `[sub_lo, sub_hi)`.
+    pub sub_lo: u32,
+    pub sub_hi: u32,
+    /// Total substations across the fleet (the kvp split divisor).
+    pub substations: u32,
+    pub total_kvps: u64,
+    pub threads: u32,
+    pub batch_size: u32,
+    pub sweep_ms: u64,
+    pub queries_per_10k: u64,
+    pub retry: RetryState,
+    pub window_nanos: u64,
+    /// Address of the gateway socket server the drivers dial.
+    pub gateway_addr: String,
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Every protocol message. See the module table for tags and layout.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    Hello {
+        version: u32,
+        role: u8,
+    },
+    HelloAck {
+        version: u32,
+    },
+    Ping,
+    Pong,
+    Ok,
+    Err {
+        transient: bool,
+        message: String,
+    },
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    PutBatch {
+        items: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Scan {
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u64,
+    },
+    ScanRow {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    ScanDone {
+        rows: u64,
+    },
+    GetStats,
+    Stats {
+        replication: u32,
+        ingested: u64,
+    },
+    RunPhase(RunPhaseSpec),
+    PhaseDone {
+        summaries: Vec<OpSummary>,
+        recorder: RecorderState,
+    },
+    Shutdown,
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0x01,
+            Message::HelloAck { .. } => 0x02,
+            Message::Ping => 0x03,
+            Message::Pong => 0x04,
+            Message::Ok => 0x05,
+            Message::Err { .. } => 0x06,
+            Message::Put { .. } => 0x10,
+            Message::PutBatch { .. } => 0x11,
+            Message::Scan { .. } => 0x12,
+            Message::ScanRow { .. } => 0x13,
+            Message::ScanDone { .. } => 0x14,
+            Message::GetStats => 0x15,
+            Message::Stats { .. } => 0x16,
+            Message::RunPhase(_) => 0x20,
+            Message::PhaseDone { .. } => 0x21,
+            Message::Shutdown => 0x22,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::HelloAck { .. } => "HelloAck",
+            Message::Ping => "Ping",
+            Message::Pong => "Pong",
+            Message::Ok => "Ok",
+            Message::Err { .. } => "Err",
+            Message::Put { .. } => "Put",
+            Message::PutBatch { .. } => "PutBatch",
+            Message::Scan { .. } => "Scan",
+            Message::ScanRow { .. } => "ScanRow",
+            Message::ScanDone { .. } => "ScanDone",
+            Message::GetStats => "GetStats",
+            Message::Stats { .. } => "Stats",
+            Message::RunPhase(_) => "RunPhase",
+            Message::PhaseDone { .. } => "PhaseDone",
+            Message::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Encodes the payload (everything after the tag byte).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::Hello { version, role } => {
+                w.u32(*version);
+                w.u8(*role);
+            }
+            Message::HelloAck { version } => w.u32(*version),
+            Message::Ping | Message::Pong | Message::Ok => {}
+            Message::Err { transient, message } => {
+                w.u8(u8::from(*transient));
+                w.str(message);
+            }
+            Message::Put { key, value } => {
+                w.bytes(key);
+                w.bytes(value);
+            }
+            Message::PutBatch { items } => {
+                w.u32(items.len() as u32);
+                for (k, v) in items {
+                    w.bytes(k);
+                    w.bytes(v);
+                }
+            }
+            Message::Scan { start, end, limit } => {
+                w.bytes(start);
+                w.bytes(end);
+                w.u64(*limit);
+            }
+            Message::ScanRow { key, value } => {
+                w.bytes(key);
+                w.bytes(value);
+            }
+            Message::ScanDone { rows } => w.u64(*rows),
+            Message::GetStats | Message::Shutdown => {}
+            Message::Stats {
+                replication,
+                ingested,
+            } => {
+                w.u32(*replication);
+                w.u64(*ingested);
+            }
+            Message::RunPhase(spec) => encode_run_phase(&mut w, spec),
+            Message::PhaseDone {
+                summaries,
+                recorder,
+            } => {
+                w.u32(summaries.len() as u32);
+                for s in summaries {
+                    encode_summary(&mut w, s);
+                }
+                encode_recorder(&mut w, recorder);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one payload. Every failure — unknown tag, short buffer,
+    /// trailing garbage — is a permanent protocol error.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match tag {
+            0x01 => Message::Hello {
+                version: r.u32()?,
+                role: r.u8()?,
+            },
+            0x02 => Message::HelloAck { version: r.u32()? },
+            0x03 => Message::Ping,
+            0x04 => Message::Pong,
+            0x05 => Message::Ok,
+            0x06 => Message::Err {
+                transient: r.u8()? != 0,
+                message: r.str()?,
+            },
+            0x10 => Message::Put {
+                key: r.bytes()?,
+                value: r.bytes()?,
+            },
+            0x11 => {
+                let n = r.u32()? as usize;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push((r.bytes()?, r.bytes()?));
+                }
+                Message::PutBatch { items }
+            }
+            0x12 => Message::Scan {
+                start: r.bytes()?,
+                end: r.bytes()?,
+                limit: r.u64()?,
+            },
+            0x13 => Message::ScanRow {
+                key: r.bytes()?,
+                value: r.bytes()?,
+            },
+            0x14 => Message::ScanDone { rows: r.u64()? },
+            0x15 => Message::GetStats,
+            0x16 => Message::Stats {
+                replication: r.u32()?,
+                ingested: r.u64()?,
+            },
+            0x20 => Message::RunPhase(decode_run_phase(&mut r)?),
+            0x21 => {
+                let n = r.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(WireError::permanent(format!(
+                        "summary count {n} implausible"
+                    )));
+                }
+                let mut summaries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    summaries.push(decode_summary(&mut r)?);
+                }
+                let recorder = decode_recorder(&mut r)?;
+                Message::PhaseDone {
+                    summaries,
+                    recorder,
+                }
+            }
+            0x22 => Message::Shutdown,
+            other => return Err(WireError::permanent(format!("unknown tag 0x{other:02x}"))),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+fn encode_run_phase(w: &mut Writer, s: &RunPhaseSpec) {
+    w.u8(s.phase);
+    w.u64(s.seed);
+    w.u64(s.epoch_ms);
+    w.u32(s.sub_lo);
+    w.u32(s.sub_hi);
+    w.u32(s.substations);
+    w.u64(s.total_kvps);
+    w.u32(s.threads);
+    w.u32(s.batch_size);
+    w.u64(s.sweep_ms);
+    w.u64(s.queries_per_10k);
+    w.u32(s.retry.max_attempts);
+    w.u64(s.retry.base_backoff_nanos);
+    w.u64(s.retry.max_backoff_nanos);
+    w.u64(s.retry.deadline_nanos);
+    w.f64(s.retry.jitter);
+    w.u64(s.window_nanos);
+    w.str(&s.gateway_addr);
+}
+
+fn decode_run_phase(r: &mut Reader) -> Result<RunPhaseSpec, WireError> {
+    Ok(RunPhaseSpec {
+        phase: r.u8()?,
+        seed: r.u64()?,
+        epoch_ms: r.u64()?,
+        sub_lo: r.u32()?,
+        sub_hi: r.u32()?,
+        substations: r.u32()?,
+        total_kvps: r.u64()?,
+        threads: r.u32()?,
+        batch_size: r.u32()?,
+        sweep_ms: r.u64()?,
+        queries_per_10k: r.u64()?,
+        retry: RetryState {
+            max_attempts: r.u32()?,
+            base_backoff_nanos: r.u64()?,
+            max_backoff_nanos: r.u64()?,
+            deadline_nanos: r.u64()?,
+            jitter: r.f64()?,
+        },
+        window_nanos: r.u64()?,
+        gateway_addr: r.str()?,
+    })
+}
+
+fn encode_summary(w: &mut Writer, s: &OpSummary) {
+    w.u32(s.substation);
+    w.u64(s.ingested);
+    w.u64(s.insert_failures);
+    w.u64(s.insert_retries);
+    w.u64(s.queries);
+    w.u64(s.query_failures);
+    w.u64(s.query_retries);
+    w.u64(s.rows.n);
+    w.f64(s.rows.mean);
+    w.f64(s.rows.m2);
+    w.f64(s.rows.min);
+    w.f64(s.rows.max);
+    w.f64(s.elapsed_secs);
+}
+
+fn decode_summary(r: &mut Reader) -> Result<OpSummary, WireError> {
+    Ok(OpSummary {
+        substation: r.u32()?,
+        ingested: r.u64()?,
+        insert_failures: r.u64()?,
+        insert_retries: r.u64()?,
+        queries: r.u64()?,
+        query_failures: r.u64()?,
+        query_retries: r.u64()?,
+        rows: MomentsState {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        },
+        elapsed_secs: r.f64()?,
+    })
+}
+
+fn encode_recorder(w: &mut Writer, rec: &RecorderState) {
+    w.u64(rec.window_nanos);
+    w.u32(rec.hists.len() as u32);
+    for h in &rec.hists {
+        w.u64(h.count);
+        w.u64(h.sum_hi);
+        w.u64(h.sum_lo);
+        w.u64(h.sum_sq_bits);
+        w.u64(h.min);
+        w.u64(h.max);
+        w.u32(h.buckets.len() as u32);
+        for &(idx, count) in &h.buckets {
+            w.u32(idx);
+            w.u64(count);
+        }
+    }
+    for series in [&rec.ingest, &rec.query, &rec.scan_rows] {
+        w.u64(series.interval_nanos);
+        w.u32(series.buckets.len() as u32);
+        for &b in &series.buckets {
+            w.u64(b);
+        }
+    }
+}
+
+fn decode_recorder(r: &mut Reader) -> Result<RecorderState, WireError> {
+    let window_nanos = r.u64()?;
+    let n_hists = r.u32()? as usize;
+    if n_hists > 64 {
+        return Err(WireError::permanent(format!(
+            "histogram count {n_hists} implausible"
+        )));
+    }
+    let mut hists = Vec::with_capacity(n_hists);
+    for _ in 0..n_hists {
+        let (count, sum_hi, sum_lo) = (r.u64()?, r.u64()?, r.u64()?);
+        let (sum_sq_bits, min, max) = (r.u64()?, r.u64()?, r.u64()?);
+        let n_buckets = r.u32()? as usize;
+        if n_buckets > 1 << 16 {
+            return Err(WireError::permanent(format!(
+                "bucket count {n_buckets} implausible"
+            )));
+        }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            buckets.push((r.u32()?, r.u64()?));
+        }
+        hists.push(HistogramState {
+            count,
+            sum_hi,
+            sum_lo,
+            sum_sq_bits,
+            min,
+            max,
+            buckets,
+        });
+    }
+    let mut series = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let interval_nanos = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > 1 << 24 {
+            return Err(WireError::permanent(format!(
+                "series length {n} implausible"
+            )));
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.u64()?);
+        }
+        series.push(SeriesState {
+            interval_nanos,
+            buckets,
+        });
+    }
+    let scan_rows = series.pop().ok_or_else(|| WireError::permanent("series"))?;
+    let query = series.pop().ok_or_else(|| WireError::permanent("series"))?;
+    let ingest = series.pop().ok_or_else(|| WireError::permanent("series"))?;
+    Ok(RecorderState {
+        window_nanos,
+        hists,
+        ingest,
+        query,
+        scan_rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer/reader
+// ---------------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Writer {
+        Writer(Vec::with_capacity(64))
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+    fn finish(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                WireError::permanent(format!(
+                    "truncated payload: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).map_err(|_| WireError::permanent("invalid utf-8 in string field"))
+    }
+
+    fn expect_end(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::permanent(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let decoded = Message::decode(msg.tag(), &msg.encode_payload()).expect("decode");
+        assert_eq!(decoded, msg);
+    }
+
+    fn sample_recorder() -> RecorderState {
+        RecorderState {
+            window_nanos: 1_000_000_000,
+            hists: (0..6)
+                .map(|i| HistogramState {
+                    count: 10 + i,
+                    sum_hi: i,
+                    sum_lo: 1000 * i,
+                    sum_sq_bits: (i as f64 * 1.5).to_bits(),
+                    min: i,
+                    max: 100 * i,
+                    buckets: vec![(3, 4), (700 + i as u32, 6 + i)],
+                })
+                .collect(),
+            ingest: SeriesState {
+                interval_nanos: 1_000_000_000,
+                buckets: vec![10, 20, 30],
+            },
+            query: SeriesState {
+                interval_nanos: 1_000_000_000,
+                buckets: vec![1],
+            },
+            scan_rows: SeriesState {
+                interval_nanos: 1_000_000_000,
+                buckets: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        roundtrip(Message::Hello {
+            version: 1,
+            role: ROLE_AGENT,
+        });
+        roundtrip(Message::HelloAck { version: 1 });
+        roundtrip(Message::Ping);
+        roundtrip(Message::Pong);
+        roundtrip(Message::Ok);
+        roundtrip(Message::Err {
+            transient: true,
+            message: "node down".into(),
+        });
+        roundtrip(Message::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        roundtrip(Message::PutBatch {
+            items: vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), vec![0xFF; 300]),
+            ],
+        });
+        roundtrip(Message::Scan {
+            start: b"a".to_vec(),
+            end: b"z".to_vec(),
+            limit: u64::MAX,
+        });
+        roundtrip(Message::ScanRow {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        roundtrip(Message::ScanDone { rows: 42 });
+        roundtrip(Message::GetStats);
+        roundtrip(Message::Stats {
+            replication: 3,
+            ingested: 1_000_000,
+        });
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn run_phase_round_trips_every_field() {
+        roundtrip(Message::RunPhase(RunPhaseSpec {
+            phase: 1,
+            seed: 0xDEAD_BEEF,
+            epoch_ms: 1_700_000_000_000,
+            sub_lo: 2,
+            sub_hi: 5,
+            substations: 8,
+            total_kvps: 1_000_000_000,
+            threads: 10,
+            batch_size: 16,
+            sweep_ms: 10,
+            queries_per_10k: 5,
+            retry: RetryState {
+                max_attempts: 5,
+                base_backoff_nanos: 50_000,
+                max_backoff_nanos: 5_000_000,
+                deadline_nanos: 1_000_000_000,
+                jitter: 0.5,
+            },
+            window_nanos: 1_000_000_000,
+            gateway_addr: "127.0.0.1:4242".into(),
+        }));
+    }
+
+    #[test]
+    fn phase_done_round_trips_raw_state() {
+        roundtrip(Message::PhaseDone {
+            summaries: vec![OpSummary {
+                substation: 3,
+                ingested: 10_000,
+                insert_failures: 1,
+                insert_retries: 7,
+                queries: 5,
+                query_failures: 0,
+                query_retries: 2,
+                rows: MomentsState {
+                    n: 5,
+                    mean: 120.5,
+                    m2: 33.25,
+                    min: 90.0,
+                    max: 180.0,
+                },
+                elapsed_secs: 1.25,
+            }],
+            recorder: sample_recorder(),
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_fail_permanently() {
+        let msg = Message::Stats {
+            replication: 3,
+            ingested: 9,
+        };
+        let payload = msg.encode_payload();
+        for cut in 0..payload.len() {
+            let err = Message::decode(msg.tag(), &payload[..cut]).expect_err("truncated");
+            assert!(!err.is_transient());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut payload = Message::Ping.encode_payload();
+        payload.push(0);
+        assert!(Message::decode(0x03, &payload).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let err = Message::decode(0x7F, &[]).expect_err("unknown tag");
+        assert!(err.message.contains("unknown tag"));
+    }
+}

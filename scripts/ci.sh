@@ -60,6 +60,10 @@ if [[ "${1:-}" != "quick" ]]; then
         ./scripts/bench_topology.sh 100
     cargo run --release -q -p bench --bin check_export -- \
         "$ARTIFACT_DIR/bench_topology.json" "$ARTIFACT_DIR/bench_topology.prom"
+
+    echo "== networked plane (smoke, gates on VALID verdict + counter parity) =="
+    BENCH_NETPLANE_OUT="$ARTIFACT_DIR/BENCH_netplane.json" \
+        ./scripts/bench_netplane.sh 100
 fi
 
 echo "CI gate passed."

@@ -150,6 +150,7 @@ fn synthetic_registry() -> MetricsRegistry {
         migrations_started: 3,
         migrations_completed: 2,
         migrations_aborted: 1,
+        migration_throttled: 7,
         stale_route_retries: 5,
         epoch: 6,
         topology_ok: true,

@@ -419,3 +419,153 @@ mod generator_props {
         }
     }
 }
+
+mod netplane_props {
+    use super::*;
+    use tpcx_iot::netplane::{recorder_from_state, recorder_to_state};
+    use tpcx_iot::telemetry::{MetricsRegistry, Phase, ThreadRecorder};
+    use wire::Message;
+
+    /// One telemetry recording, in a form proptest can generate.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Ingest {
+            t: u64,
+            latency: u64,
+            retries: u64,
+        },
+        Batch {
+            t: u64,
+            latency: u64,
+            fill: u64,
+            retries: u64,
+        },
+        Query {
+            t: u64,
+            latency: u64,
+            retries: u64,
+        },
+        Scan {
+            t: u64,
+            latency: u64,
+            rows: u64,
+        },
+        Failed {
+            latency: u64,
+        },
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        let t = 0u64..5_000_000_000u64;
+        let latency = 0u64..100_000_000u64;
+        prop_oneof![
+            (t.clone(), latency.clone(), 0u64..4).prop_map(|(t, latency, retries)| Op::Ingest {
+                t,
+                latency,
+                retries
+            }),
+            (t.clone(), latency.clone(), 1u64..64, 0u64..4).prop_map(
+                |(t, latency, fill, retries)| Op::Batch {
+                    t,
+                    latency,
+                    fill,
+                    retries
+                }
+            ),
+            (t.clone(), latency.clone(), 0u64..4).prop_map(|(t, latency, retries)| Op::Query {
+                t,
+                latency,
+                retries
+            }),
+            (t, latency.clone(), 0u64..2_000).prop_map(|(t, latency, rows)| Op::Scan {
+                t,
+                latency,
+                rows
+            }),
+            latency.prop_map(|latency| Op::Failed { latency }),
+        ]
+    }
+
+    fn replay(ops: &[Op]) -> ThreadRecorder {
+        let mut rec = ThreadRecorder::new(1_000_000_000);
+        for op in ops {
+            match *op {
+                Op::Ingest {
+                    t,
+                    latency,
+                    retries,
+                } => rec.record_ingest(t, latency, retries),
+                Op::Batch {
+                    t,
+                    latency,
+                    fill,
+                    retries,
+                } => rec.record_batch(t, latency, fill, retries),
+                Op::Query {
+                    t,
+                    latency,
+                    retries,
+                } => rec.record_query(t, latency, retries),
+                Op::Scan { t, latency, rows } => rec.record_scan(t, latency, rows),
+                Op::Failed { latency } => rec.record_failed(latency),
+            }
+        }
+        rec
+    }
+
+    fn registry_json(merged: &ThreadRecorder) -> String {
+        let mut registry = MetricsRegistry::new();
+        registry.add_phase("measured 1", merged.snapshot(Phase::Measured), Vec::new());
+        registry.verdict = "VALID".into();
+        registry.to_json()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tentpole fidelity contract of the networked plane: each
+        /// agent's recorder serialized to wire state, shipped through the
+        /// real `PhaseDone` codec, deserialized and merged on the
+        /// controller produces a registry export byte-identical to
+        /// merging the original in-process recorders.
+        #[test]
+        fn shipped_recorder_merge_is_bit_identical(
+            fleets in proptest::collection::vec(
+                proptest::collection::vec(op(), 0..120),
+                1..4,
+            ),
+        ) {
+            let recorders: Vec<ThreadRecorder> =
+                fleets.iter().map(|ops| replay(ops)).collect();
+
+            // In-process: merge the originals in agent order.
+            let mut local = recorders[0].clone();
+            for rec in &recorders[1..] {
+                local.merge(rec);
+            }
+
+            // Networked: state → PhaseDone frame bytes → state → merge.
+            let mut shipped: Option<ThreadRecorder> = None;
+            for rec in &recorders {
+                let msg = Message::PhaseDone {
+                    summaries: Vec::new(),
+                    recorder: recorder_to_state(rec),
+                };
+                let decoded = Message::decode(msg.tag(), &msg.encode_payload())
+                    .expect("codec round trip");
+                let state = match decoded {
+                    Message::PhaseDone { recorder, .. } => recorder,
+                    other => panic!("unexpected {}", other.name()),
+                };
+                let rebuilt = recorder_from_state(&state).expect("valid state");
+                match shipped.as_mut() {
+                    Some(m) => m.merge(&rebuilt),
+                    None => shipped = Some(rebuilt),
+                }
+            }
+            let shipped = shipped.expect("at least one agent");
+
+            prop_assert_eq!(registry_json(&local), registry_json(&shipped));
+        }
+    }
+}
