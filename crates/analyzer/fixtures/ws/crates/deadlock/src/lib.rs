@@ -1,0 +1,26 @@
+//! Fixture: a two-lock ordering cycle. `ab` takes `a` then `b`; `ba`
+//! takes `b` and then reaches `a` through a helper, so the second edge
+//! of the cycle is interprocedural.
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u64 {
+        let b = self.b.lock();
+        self.grab_a() + *b
+    }
+
+    fn grab_a(&self) -> u64 {
+        let a = self.a.lock();
+        *a
+    }
+}

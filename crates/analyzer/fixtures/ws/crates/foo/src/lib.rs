@@ -44,3 +44,8 @@ mod tests {
         c.load(std::sync::atomic::Ordering::SeqCst);
     }
 }
+
+pub fn stale_allow(x: u32) -> u32 {
+    // lint:allow(unwrap) fixture: stale marker that suppresses nothing
+    x + 1
+}

@@ -1,0 +1,306 @@
+//! The findings baseline: a checked-in JSON array (the analyzer's own
+//! `--format json` output) of findings that are acknowledged and must not
+//! grow. CI runs `check --format json --baseline analyzer-baseline.json`;
+//! the gate fails on any finding *not* in the baseline, and on any
+//! baseline entry that no longer matches a finding (`stale-baseline`) —
+//! the baseline can only shrink.
+//!
+//! The parser is hand-rolled (the crate is dependency-free by design) and
+//! accepts exactly the shape the analyzer emits: an array of flat objects
+//! with string and integer values.
+
+use crate::Finding;
+
+/// One acknowledged finding. Matching is on `(rule, file, line)`; the
+/// message is carried for human readers of the baseline file but ignored
+/// when matching, so rewording a diagnostic does not invalidate the
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Splits `findings` against the baseline: returns the findings that
+/// remain actionable — everything not matched by a baseline entry, plus
+/// one `stale-baseline` finding per entry that matched nothing. Each
+/// entry absorbs at most one finding.
+pub fn apply(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Vec<Finding> {
+    let mut used = vec![false; baseline.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        let slot = baseline.iter().enumerate().position(|(i, b)| {
+            !used[i] && b.rule == f.rule && b.file == f.file && b.line == f.line
+        });
+        match slot {
+            Some(i) => used[i] = true,
+            None => out.push(f),
+        }
+    }
+    for (i, b) in baseline.iter().enumerate() {
+        if !used[i] {
+            out.push(Finding::new(
+                "stale-baseline",
+                &b.file,
+                b.line,
+                format!(
+                    "baseline entry for `{}` at {}:{} no longer matches any \
+                     finding; remove it (the baseline can only shrink)",
+                    b.rule, b.file, b.line
+                ),
+            ));
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Parses a baseline file. Errors carry a byte offset for debugging.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    p.eat(b'[')?;
+    let mut entries = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            entries.push(p.object()?);
+            p.ws();
+            match p.next() {
+                Some(b',') => p.ws(),
+                Some(b']') => break,
+                other => return Err(p.err(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after baseline array".to_string()));
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: String) -> String {
+        format!("baseline: {what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(self.err(format!("expected `{}`, got {other:?}", want as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<BaselineEntry, String> {
+        self.ws();
+        self.eat(b'{')?;
+        let mut entry = BaselineEntry {
+            rule: String::new(),
+            file: String::new(),
+            line: 0,
+            message: String::new(),
+        };
+        let mut seen_line = false;
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            match key.as_str() {
+                "line" => {
+                    entry.line = self.integer()?;
+                    seen_line = true;
+                }
+                "rule" => entry.rule = self.string()?,
+                "file" => entry.file = self.string()?,
+                "message" => entry.message = self.string()?,
+                other => return Err(self.err(format!("unknown key `{other}`"))),
+            }
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(self.err(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+        if entry.rule.is_empty() || entry.file.is_empty() || !seen_line {
+            return Err(self.err("entry missing rule/file/line".to_string()));
+        }
+        Ok(entry)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string".to_string())),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape".to_string()))?;
+                            v = v * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(v)
+                                .ok_or_else(|| self.err("bad \\u codepoint".to_string()))?,
+                        );
+                    }
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: collect the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8".to_string()))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer".to_string()));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("integer out of range".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse("[]").expect("parses"), Vec::new());
+        assert_eq!(parse(" [ ] \n").expect("parses"), Vec::new());
+    }
+
+    #[test]
+    fn round_trips_analyzer_output() {
+        let f = Finding::new(
+            "lock-order",
+            "crates/gateway/src/x.rs",
+            7,
+            "cycle: \"a\" -> b\nsecond line".to_string(),
+        );
+        let json = format!("[{}]", f.to_json());
+        let entries = parse(&json).expect("parses own output");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "lock-order");
+        assert_eq!(entries[0].file, "crates/gateway/src/x.rs");
+        assert_eq!(entries[0].line, 7);
+        assert_eq!(entries[0].message, "cycle: \"a\" -> b\nsecond line");
+    }
+
+    #[test]
+    fn matched_findings_are_absorbed() {
+        let findings = vec![
+            Finding::new("unwrap", "a.rs", 1, "x".into()),
+            Finding::new("unwrap", "a.rs", 2, "y".into()),
+        ];
+        let baseline = vec![BaselineEntry {
+            rule: "unwrap".into(),
+            file: "a.rs".into(),
+            line: 1,
+            message: String::new(),
+        }];
+        let out = apply(findings, &baseline);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn stale_entries_become_findings() {
+        let baseline = vec![BaselineEntry {
+            rule: "unwrap".into(),
+            file: "gone.rs".into(),
+            line: 3,
+            message: String::new(),
+        }];
+        let out = apply(Vec::new(), &baseline);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "stale-baseline");
+        assert_eq!((out[0].file.as_str(), out[0].line), ("gone.rs", 3));
+    }
+
+    #[test]
+    fn each_entry_absorbs_one_finding() {
+        let findings = vec![
+            Finding::new("unwrap", "a.rs", 1, "x".into()),
+            Finding::new("unwrap", "a.rs", 1, "x".into()),
+        ];
+        let baseline = vec![BaselineEntry {
+            rule: "unwrap".into(),
+            file: "a.rs".into(),
+            line: 1,
+            message: String::new(),
+        }];
+        assert_eq!(apply(findings, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_position() {
+        let err = parse("[{\"rule\":]").expect_err("rejects");
+        assert!(err.contains("at byte"), "{err}");
+    }
+}

@@ -1,0 +1,283 @@
+//! The intra-crate call graph over the symbol index, the transitive
+//! summaries the deep rules share (may-block, may-panic, transitive lock
+//! acquisition), and the `panic-reachability` rule.
+//!
+//! Resolution is name-based and intra-crate (see `symbols.rs` for the
+//! approximation contract), adjacency is sorted, and every reachability
+//! query is a BFS over sorted edges — so witness paths, and therefore
+//! analyzer output, are byte-deterministic.
+
+use crate::rules::FileView;
+use crate::symbols::{FnInfo, SymbolIndex};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Hot-path entry points that must be panic-free transitively: the data
+/// plane (`put` / `put_batch` / `scan_stream`), the networked benchmark
+/// plane (`run_networked` / `run_agent`), and the gateway server's
+/// accept/serve/dispatch path.
+pub const ENTRY_POINTS: [&str; 8] = [
+    "Cluster::put",
+    "Cluster::put_batch",
+    "Cluster::scan_stream",
+    "run_networked",
+    "run_agent",
+    "accept_loop",
+    "serve_conn",
+    "handle_request",
+];
+
+/// The call graph: one node per indexed function, edges resolved
+/// intra-crate by name.
+pub struct CallGraph<'a> {
+    pub index: &'a SymbolIndex,
+    /// `adj[f]` = sorted, deduped `(callee fn index, 1-based call line)`.
+    pub adj: Vec<Vec<(usize, usize)>>,
+    /// Whether each fn (or anything it can reach) contains a direct
+    /// blocking site.
+    may_block: Vec<bool>,
+    /// Every lock each fn may acquire, transitively.
+    trans_locks: Vec<BTreeSet<String>>,
+}
+
+impl<'a> CallGraph<'a> {
+    pub fn build(index: &'a SymbolIndex) -> CallGraph<'a> {
+        let n = index.fns.len();
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (i, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for call in &f.calls {
+                for &g in index.resolve(f, call) {
+                    if g != i && !index.fns[g].is_test {
+                        adj[i].push((g, call.line));
+                    }
+                }
+            }
+            adj[i].sort();
+            adj[i].dedup();
+        }
+        let may_block = reach_fixpoint(&adj, |f| !index.fns[f].blocks.is_empty());
+        let trans_locks = lock_fixpoint(index, &adj);
+        CallGraph {
+            index,
+            adj,
+            may_block,
+            trans_locks,
+        }
+    }
+
+    pub fn may_block(&self, f: usize) -> bool {
+        self.may_block[f]
+    }
+
+    pub fn trans_locks(&self, f: usize) -> &BTreeSet<String> {
+        &self.trans_locks[f]
+    }
+
+    /// Shortest call path from `from` to a function satisfying `hit`,
+    /// as fn indices (`from` first). BFS over sorted adjacency: the
+    /// result is deterministic.
+    pub fn path_to(&self, from: usize, hit: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+        if hit(from) {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &(next, _) in &self.adj[cur] {
+                if !seen.insert(next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if hit(next) {
+                    let mut path = vec![next];
+                    let mut back = next;
+                    while let Some(&p) = prev.get(&back) {
+                        path.push(p);
+                        back = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Renders a call path as `a -> b -> c` using qualified names.
+    pub fn render_path(&self, path: &[usize]) -> String {
+        path.iter()
+            .map(|&i| self.index.fns[i].qual.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Backward-propagates `seed` over the call graph to a fixpoint:
+/// `out[f]` is true when `f` can reach a seeded function.
+fn reach_fixpoint(adj: &[Vec<(usize, usize)>], seed: impl Fn(usize) -> bool) -> Vec<bool> {
+    let n = adj.len();
+    let mut out: Vec<bool> = (0..n).map(&seed).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..n {
+            if out[f] {
+                continue;
+            }
+            if adj[f].iter().any(|&(g, _)| out[g]) {
+                out[f] = true;
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Fixpoint union of every lock a function may acquire, directly or via
+/// callees.
+fn lock_fixpoint(index: &SymbolIndex, adj: &[Vec<(usize, usize)>]) -> Vec<BTreeSet<String>> {
+    let n = adj.len();
+    let mut out: Vec<BTreeSet<String>> = index
+        .fns
+        .iter()
+        .map(|f| f.locks.iter().map(|l| l.lock.clone()).collect())
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..n {
+            let mut add: Vec<String> = Vec::new();
+            for &(g, _) in &adj[f] {
+                for l in &out[g] {
+                    if !out[f].contains(l) {
+                        add.push(l.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                out[f].extend(add);
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// `panic-reachability`: the lexical `unwrap` rule, propagated through
+/// the call graph. Every [`ENTRY_POINTS`] function must be panic-free
+/// *transitively*: no `.unwrap()` / `.expect(` / `panic!`-family macro /
+/// non-debug `assert!` anywhere it can reach, except sites vouched for
+/// with a `lint:allow` marker for `unwrap` or `panic-reachability`.
+pub fn check_panic_reachability(
+    graph: &CallGraph,
+    views: &BTreeMap<&str, &FileView>,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "panic-reachability";
+    for entry in ENTRY_POINTS {
+        for f in graph.index.find(entry) {
+            let info: &FnInfo = &graph.index.fns[f];
+            if info.is_test {
+                continue;
+            }
+            let Some(path) = graph.path_to(f, &|g| !graph.index.fns[g].panics.is_empty()) else {
+                continue;
+            };
+            let Some(&term_idx) = path.last() else {
+                continue;
+            };
+            let terminal = &graph.index.fns[term_idx];
+            let Some(seed) = terminal.panics.iter().min_by_key(|p| p.line) else {
+                continue;
+            };
+            if views
+                .get(info.file.as_str())
+                .is_some_and(|v| v.suppressed(info.line - 1, RULE))
+            {
+                continue;
+            }
+            out.push(Finding::new(
+                RULE,
+                &info.file,
+                info.line,
+                format!(
+                    "entry point `{}` can reach a panic: {} -> `{}` at {}:{}",
+                    info.qual,
+                    graph.render_path(&path),
+                    seed.what,
+                    terminal.file,
+                    seed.line
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lexer::LexedLine;
+
+    fn harness(src: &str) -> (Vec<(String, Vec<LexedLine>)>,) {
+        (vec![("crates/gateway/src/x.rs".to_string(), lex(src))],)
+    }
+
+    #[test]
+    fn panic_reaches_entry_point_transitively() {
+        let (files,) = harness(
+            "pub fn handle_request() {\n\
+                 helper();\n\
+             }\n\
+             fn helper() {\n\
+                 deep();\n\
+             }\n\
+             fn deep() {\n\
+                 assert!(cond);\n\
+             }\n",
+        );
+        let views: Vec<FileView> = files.iter().map(|(_, l)| FileView::new(l)).collect();
+        let index = SymbolIndex::build(&files, &views);
+        let graph = CallGraph::build(&index);
+        let by_file: BTreeMap<&str, &FileView> = files
+            .iter()
+            .zip(&views)
+            .map(|((rel, _), v)| (rel.as_str(), v))
+            .collect();
+        let mut out = Vec::new();
+        check_panic_reachability(&graph, &by_file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("handle_request -> helper -> deep"));
+        assert!(out[0].message.contains("assert!"));
+    }
+
+    #[test]
+    fn vouched_seed_does_not_propagate() {
+        let (files,) = harness(
+            "pub fn handle_request() {\n\
+                 deep();\n\
+             }\n\
+             fn deep() {\n\
+                 // lint:allow(unwrap) infallible by construction\n\
+                 x.unwrap();\n\
+             }\n",
+        );
+        let views: Vec<FileView> = files.iter().map(|(_, l)| FileView::new(l)).collect();
+        let index = SymbolIndex::build(&files, &views);
+        let graph = CallGraph::build(&index);
+        let by_file: BTreeMap<&str, &FileView> = files
+            .iter()
+            .zip(&views)
+            .map(|((rel, _), v)| (rel.as_str(), v))
+            .collect();
+        let mut out = Vec::new();
+        check_panic_reachability(&graph, &by_file, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -60,7 +60,7 @@ impl Lexer {
             match c {
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
-                '"' => self.string_literal(0),
+                '"' => self.string_literal(0, false),
                 '\'' => self.char_or_lifetime(),
                 _ if is_ident_start(c) => self.identifier_or_prefixed(),
                 _ => {
@@ -119,16 +119,19 @@ impl Lexer {
         }
     }
 
-    /// Consumes a `"..."` (or raw `r##"..."##` when `hashes > 0`) string
-    /// literal. The contents land in `strings` on the line the literal
-    /// starts; the code field keeps only the delimiting quotes.
-    fn string_literal(&mut self, hashes: usize) {
+    /// Consumes a `"..."` (or raw `r#"..."#` when `raw`) string literal.
+    /// The contents land in `strings` on the line the literal starts; the
+    /// code field keeps only the delimiting quotes. Raw literals have no
+    /// escapes at all — `r"a\"` ends at the quote — so backslash handling
+    /// is gated on `raw`, not on the hash count (a zero-hash `r"…"` is
+    /// still raw).
+    fn string_literal(&mut self, hashes: usize, raw: bool) {
         self.current.code.push('"');
         self.bump();
         let start_line = self.lines.len();
         let mut content = String::new();
         while let Some(c) = self.peek(0) {
-            if c == '\\' && hashes == 0 {
+            if c == '\\' && !raw {
                 content.push(c);
                 self.bump();
                 if let Some(esc) = self.peek(0) {
@@ -213,7 +216,9 @@ impl Lexer {
             if matches!(ident.as_str(), "r" | "b" | "br") {
                 match self.peek(0) {
                     Some('"') => {
-                        self.string_literal(0);
+                        // `b"…"` keeps escape processing; `r"…"` / `br"…"`
+                        // are raw even with zero hashes.
+                        self.string_literal(0, ident != "b");
                         return;
                     }
                     Some('#') if ident != "b" => {
@@ -226,7 +231,7 @@ impl Lexer {
                                 self.current.code.push('#');
                                 self.bump();
                             }
-                            self.string_literal(hashes);
+                            self.string_literal(hashes, true);
                             return;
                         }
                     }
@@ -294,6 +299,63 @@ mod tests {
     fn char_literal_with_quote_escape() {
         let lines = lex("let q = '\\''; let n = '\\n'; more()\n");
         assert!(lines[0].code.contains("more()"));
+    }
+
+    #[test]
+    fn zero_hash_raw_string_has_no_escapes() {
+        // The `\` before the closing quote is a literal backslash, not an
+        // escape; the rest of the line must stay code. Before the `raw`
+        // flag this desynced the string state and swallowed `close()`.
+        let lines = lex("let p = r\"dir\\\"; close();\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].strings, vec!["dir\\"]);
+        assert!(lines[0].code.contains("close()"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn raw_byte_string_has_no_escapes() {
+        let lines = lex("let p = br\"a\\\"; tail();\n");
+        assert_eq!(lines[0].strings, vec!["a\\"]);
+        assert!(lines[0].code.contains("tail()"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn byte_string_keeps_escape_processing() {
+        let lines = lex("let b = b\"quote \\\" inside\"; more();\n");
+        assert_eq!(lines[0].strings, vec!["quote \\\" inside"]);
+        assert!(lines[0].code.contains("more()"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn raw_string_with_braces_keeps_depth_in_sync() {
+        // Brace-depth consumers only see the code field; `{`/`}` inside a
+        // raw literal must not leak into it.
+        let lines = lex("let t = r#\"{ \"nested\": } }\"#; fin();\n");
+        assert!(!lines[0].code.contains('{'), "{:?}", lines[0].code);
+        assert!(!lines[0].code.contains('}'), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("fin()"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comment_terminates() {
+        let lines = lex("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b { }\n");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab{}");
+        assert!(lines[0].comment.contains('3'));
+    }
+
+    #[test]
+    fn char_literal_braces_do_not_leak_into_code() {
+        let lines = lex("let open = '{'; let close = '}'; brace();\n");
+        assert!(!lines[0].code.contains('{'), "{:?}", lines[0].code);
+        assert!(!lines[0].code.contains('}'), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("brace()"));
+    }
+
+    #[test]
+    fn byte_char_literal_brace_is_stripped() {
+        let lines = lex("let b = b'{'; after();\n");
+        assert!(!lines[0].code.contains('{'), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("after()"));
     }
 
     #[test]

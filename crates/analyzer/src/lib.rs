@@ -1,9 +1,11 @@
-//! Workspace analyzer: a dependency-free lint pass over the repo's own
-//! source tree, run in CI as `cargo run -p analyzer -- check`.
+//! Workspace analyzer: a dependency-free static-analysis pass over the
+//! repo's own source tree, run in CI as `cargo run -p analyzer -- check`.
 //!
 //! The analyzer walks `crates/*/src` and the top-level `tests/` directory
 //! (fixtures under `crates/analyzer/fixtures/` are deliberately outside
-//! both) and enforces seven rules:
+//! both). On top of the line lexer it builds a lightweight symbol index
+//! (`symbols`) and an intra-crate call graph (`graph`), then enforces
+//! twelve rules:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` / `panic!` outside test
 //!   scopes and bench bins.
@@ -15,29 +17,63 @@
 //!   `op="…"` labels in the golden Prometheus snapshot.
 //! * `error-exhaustive` — no `_ =>` catch-all in matches over
 //!   `ErrorKind`.
-//! * `region-map` — `RegionMap` mutations (the `regions` write lock and
-//!   the `split_at` / `rebalance` / `swap_replica` / `shed_replica`
-//!   mutators) stay inside `gateway::topology`, the epoch-fenced
-//!   reconfiguration module.
-//! * `wire-bounded` — raw, potentially unbounded reads (`read_exact`,
-//!   `read_to_end`, `read_to_string`) and `set_read_timeout(None)` stay
-//!   inside `wire::frame`, the one length-validated, timeout-mandatory
-//!   read site.
+//! * `region-map` — `RegionMap` mutations stay inside
+//!   `gateway::topology`, the epoch-fenced reconfiguration module.
+//! * `wire-bounded` — raw, potentially unbounded reads stay inside
+//!   `wire::frame`, the one length-validated, timeout-mandatory read
+//!   site.
+//! * `lock-order` — the acquired-while-held graph (same-function and
+//!   through intra-crate calls) stays acyclic; a cycle is a potential
+//!   deadlock and is reported with its full witness path.
+//! * `blocking-under-lock` — no socket I/O, fsync, storage write, or
+//!   `thread::sleep` while a lock guard is live in the gateway or the
+//!   networked benchmark plane, directly or through a call chain.
+//! * `panic-reachability` — hot-path entry points (`Cluster::put`,
+//!   `scan_stream`, `run_networked`, the server accept/serve path, …)
+//!   are transitively panic-free over the call graph.
+//! * `wire-exhaustive` — every `Message` variant in `wire::msg` has a
+//!   `tag()` arm, an `encode_payload` arm, a `decode` arm, and a
+//!   round-trip test reference.
+//! * `unused-allow` — every `lint:allow(rule)` marker still suppresses
+//!   something; stale allows are findings themselves.
 //!
 //! Suppress a finding with `// lint:allow(rule-name)` on the offending
-//! line or the line directly above. See `DESIGN.md` §11 for the full
-//! contracts and rationale.
+//! line, the line directly above, or the contiguous comment block above.
+//! See `DESIGN.md` §11 and §14 for the full contracts and rationale.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
+pub mod symbols;
 
-use lexer::lex;
+use graph::CallGraph;
+use lexer::{lex, LexedLine};
 use rules::FileView;
+use symbols::SymbolIndex;
+
+/// Every rule a `lint:allow(...)` marker can name. The `unused-allow`
+/// audit only counts markers naming these; anything else in a comment
+/// (prose, examples) is not an allow.
+pub const SUPPRESSIBLE_RULES: [&str; 10] = [
+    "unwrap",
+    "wall-clock",
+    "ordering",
+    "error-exhaustive",
+    "region-map",
+    "wire-bounded",
+    "lock-order",
+    "blocking-under-lock",
+    "panic-reachability",
+    "wire-exhaustive",
+];
 
 /// One lint violation, pointing at a workspace-relative `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,7 +95,8 @@ impl Finding {
     }
 
     /// Serializes the finding as a JSON object (hand-rolled: the crate is
-    /// dependency-free by design).
+    /// dependency-free by design). Key order is fixed, so equal findings
+    /// serialize to identical bytes.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
@@ -137,34 +174,74 @@ pub fn wire_bounded_rule_applies(rel: &str) -> bool {
     rel != "crates/wire/src/frame.rs"
 }
 
-/// Runs every rule over the workspace rooted at `root`.
-/// Walks `crates/*/src/**/*.rs` and `tests/**/*.rs`; the `metrics-sync`
-/// rule additionally pairs `crates/core/src/telemetry.rs` with
-/// `tests/golden/metrics_snapshot.prom` when both exist.
-pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// The one file the `wire-exhaustive` rule covers: the `Message` enum and
+/// its codec.
+pub fn wire_exhaustive_rule_applies(rel: &str) -> bool {
+    rel == "crates/wire/src/msg.rs"
+}
+
+/// Reads and lexes every workspace source under `root`, in sorted order.
+/// The `(relative-name, lexed-lines)` pairs feed both the per-file rules
+/// and [`SymbolIndex::build`].
+pub fn load_workspace(root: &Path) -> io::Result<Vec<(String, Vec<LexedLine>)>> {
+    let mut files = Vec::new();
     for file in workspace_sources(root)? {
         let rel = relative_name(root, &file);
         let source = fs::read_to_string(&file)?;
-        let lines = lex(&source);
-        let view = FileView::new(&lines);
-        if unwrap_rule_applies(&rel) {
-            rules::check_unwrap(&view, &rel, &mut findings);
-        }
-        if wall_clock_rule_applies(&rel) {
-            rules::check_wall_clock(&view, &rel, &mut findings);
-        }
-        if ordering_rule_applies(&rel) {
-            rules::check_ordering(&view, &rel, &mut findings);
-        }
-        if region_map_rule_applies(&rel) {
-            rules::check_region_map(&view, &rel, &mut findings);
-        }
-        if wire_bounded_rule_applies(&rel) {
-            rules::check_wire_bounded(&view, &rel, &mut findings);
-        }
-        rules::check_error_exhaustive(&view, &rel, &mut findings);
+        files.push((rel, lex(&source)));
     }
+    Ok(files)
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Pipeline: lex all sources → per-file lexical rules → symbol index and
+/// call graph → the four deep rules (`lock-order`,
+/// `blocking-under-lock`, `panic-reachability`, `wire-exhaustive`) → the
+/// `unused-allow` audit (which must run last: only then is marker
+/// consumption complete). Output is sorted by `(file, line, rule)` and
+/// byte-deterministic.
+pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = load_workspace(root)?;
+    let views: Vec<FileView> = files
+        .iter()
+        .map(|(_, lines)| FileView::new(lines))
+        .collect();
+    let mut findings = Vec::new();
+
+    for ((rel, _), view) in files.iter().zip(&views) {
+        if unwrap_rule_applies(rel) {
+            rules::check_unwrap(view, rel, &mut findings);
+        }
+        if wall_clock_rule_applies(rel) {
+            rules::check_wall_clock(view, rel, &mut findings);
+        }
+        if ordering_rule_applies(rel) {
+            rules::check_ordering(view, rel, &mut findings);
+        }
+        if region_map_rule_applies(rel) {
+            rules::check_region_map(view, rel, &mut findings);
+        }
+        if wire_bounded_rule_applies(rel) {
+            rules::check_wire_bounded(view, rel, &mut findings);
+        }
+        if wire_exhaustive_rule_applies(rel) {
+            rules::check_wire_exhaustive(view, rel, &mut findings);
+        }
+        rules::check_error_exhaustive(view, rel, &mut findings);
+    }
+
+    let index = SymbolIndex::build(&files, &views);
+    let cg = CallGraph::build(&index);
+    let by_file: BTreeMap<&str, &FileView> = files
+        .iter()
+        .zip(&views)
+        .map(|((rel, _), view)| (rel.as_str(), view))
+        .collect();
+    locks::check_lock_order(&cg, &by_file, &mut findings);
+    locks::check_blocking_under_lock(&cg, &by_file, &mut findings);
+    graph::check_panic_reachability(&cg, &by_file, &mut findings);
+
     let telemetry_path = root.join("crates/core/src/telemetry.rs");
     let prom_path = root.join("tests/golden/metrics_snapshot.prom");
     if telemetry_path.is_file() && prom_path.is_file() {
@@ -178,8 +255,28 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Finding>> {
             &mut findings,
         );
     }
+
+    // Must be last: every other rule (and the symbol index's panic-seed
+    // vouching) marks the markers it consumed.
+    for ((rel, _), view) in files.iter().zip(&views) {
+        rules::check_unused_allow(view, rel, &mut findings);
+    }
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
+}
+
+/// Builds the acquired-while-held lock graph for the workspace at `root`
+/// (the `analyzer graph` subcommand).
+pub fn lock_graph(root: &Path) -> io::Result<Vec<locks::LockEdge>> {
+    let files = load_workspace(root)?;
+    let views: Vec<FileView> = files
+        .iter()
+        .map(|(_, lines)| FileView::new(lines))
+        .collect();
+    let index = SymbolIndex::build(&files, &views);
+    let cg = CallGraph::build(&index);
+    Ok(locks::lock_order_edges(&cg))
 }
 
 /// Every `.rs` file under `crates/*/src` and `tests/`, sorted for

@@ -1,8 +1,20 @@
-//! CLI entry point: `cargo run -p analyzer -- check [--json] [--root DIR]`.
+//! CLI entry point.
+//!
+//! ```text
+//! analyzer check [--format text|json] [--root DIR] [--baseline PATH | --no-baseline]
+//! analyzer graph [--dot] [--root DIR]
+//! ```
+//!
+//! `check` runs every rule; when a baseline file exists (default
+//! `DIR/analyzer-baseline.json`, override with `--baseline`), findings in
+//! it are absorbed and stale entries are reported, so CI fails only on
+//! *new* findings. `graph` prints the acquired-while-held lock graph,
+//! optionally as GraphViz DOT.
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -12,15 +24,33 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if command != "check" {
-        eprintln!("unknown command `{command}`\n{USAGE}");
-        return ExitCode::from(2);
+    match command.as_str() {
+        "check" => run_check(args),
+        "graph" => run_graph(args),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
     }
+}
+
+fn run_check(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `--json` is the pre-baseline spelling of `--format json`.
             "--json" => json = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format requires `text` or `json`, got {other:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -28,6 +58,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--baseline requires a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-baseline" => no_baseline = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -41,6 +79,31 @@ fn main() -> ExitCode {
             eprintln!("analyzer: failed to scan {}: {err}", root.display());
             return ExitCode::from(2);
         }
+    };
+    // An explicit --baseline must exist; the default one is optional.
+    let explicit = baseline_path.is_some();
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join("analyzer-baseline.json"));
+    let findings = if no_baseline || (!explicit && !baseline_file.is_file()) {
+        findings
+    } else {
+        let text = match fs::read_to_string(&baseline_file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!(
+                    "analyzer: cannot read baseline {}: {err}",
+                    baseline_file.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match analyzer::baseline::parse(&text) {
+            Ok(entries) => entries,
+            Err(err) => {
+                eprintln!("analyzer: {}: {err}", baseline_file.display());
+                return ExitCode::from(2);
+            }
+        };
+        analyzer::baseline::apply(findings, &entries)
     };
     if json {
         let objects: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
@@ -62,7 +125,53 @@ fn main() -> ExitCode {
     }
 }
 
-const RULES: [&str; 7] = [
+fn run_graph(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut dot = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let edges = match analyzer::lock_graph(&root) {
+        Ok(edges) => edges,
+        Err(err) => {
+            eprintln!("analyzer: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if dot {
+        print!("{}", analyzer::locks::render_dot(&edges));
+    } else {
+        for e in &edges {
+            let via = if e.via.is_empty() {
+                String::new()
+            } else {
+                format!(" via {}", e.via)
+            };
+            println!(
+                "{} -> {}  ({}:{} in {}{})",
+                e.from, e.to, e.file, e.line, e.holder, via
+            );
+        }
+        println!("analyzer: {} lock-order edge(s)", edges.len());
+    }
+    ExitCode::SUCCESS
+}
+
+const RULES: [&str; 12] = [
     "unwrap",
     "wall-clock",
     "ordering",
@@ -70,11 +179,21 @@ const RULES: [&str; 7] = [
     "error-exhaustive",
     "region-map",
     "wire-bounded",
+    "lock-order",
+    "blocking-under-lock",
+    "panic-reachability",
+    "wire-exhaustive",
+    "unused-allow",
 ];
 
-const USAGE: &str = "usage: analyzer check [--json] [--root DIR]\n\
+const USAGE: &str = "usage: analyzer check [--format text|json] [--root DIR] \
+                     [--baseline PATH | --no-baseline]\n\
+                     \x20      analyzer graph [--dot] [--root DIR]\n\
                      \n\
                      Lints crates/*/src and tests/ under DIR (default: .).\n\
                      Rules: unwrap, wall-clock, ordering, metrics-sync,\n\
-                     error-exhaustive, region-map, wire-bounded. Suppress per\n\
-                     line with `// lint:allow(rule)`. See DESIGN.md section 11.";
+                     error-exhaustive, region-map, wire-bounded, lock-order,\n\
+                     blocking-under-lock, panic-reachability, wire-exhaustive,\n\
+                     unused-allow. Suppress per line with `// lint:allow(rule)`.\n\
+                     Findings in DIR/analyzer-baseline.json are absorbed; stale\n\
+                     entries fail the run. See DESIGN.md sections 11 and 14.";

@@ -7,6 +7,8 @@
 
 use crate::lexer::LexedLine;
 use crate::Finding;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// The five atomic-ordering variant names. Matching these (rather than
 /// bare `Ordering::`) keeps `std::cmp::Ordering` comparators out of the
@@ -20,12 +22,18 @@ const ATOMIC_ORDERINGS: [&str; 5] = [
 ];
 
 /// Per-line facts shared by the rules: brace depth at line start, whether
-/// the line sits inside a `#[cfg(test)]` / `#[test]` scope, and whether a
-/// standalone `// ordering:` comment is in force for the enclosing block.
+/// the line sits inside a `#[cfg(test)]` / `#[test]` scope, and which
+/// `lint:allow(rule)` markers the file carries. Marker *consumption* is
+/// tracked so the dead-suppression audit ([`check_unused_allow`]) can
+/// flag allows that no longer match a violation.
 pub struct FileView<'a> {
     pub lines: &'a [LexedLine],
     depth_at_start: Vec<usize>,
     in_test: Vec<bool>,
+    /// Every `lint:allow(<rule>)` marker: (0-based line index, rule name).
+    markers: Vec<(usize, String)>,
+    /// Indices into `markers` that suppressed at least one real violation.
+    used: RefCell<BTreeSet<usize>>,
 }
 
 impl<'a> FileView<'a> {
@@ -65,29 +73,60 @@ impl<'a> FileView<'a> {
             }
             in_test.push(line_is_test || test_floor.is_some());
         }
+        let mut markers = Vec::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let mut rest = line.comment.as_str();
+            while let Some(at) = rest.find("lint:allow(") {
+                let tail = &rest[at + "lint:allow(".len()..];
+                if let Some(end) = tail.find(')') {
+                    markers.push((idx, tail[..end].to_string()));
+                    rest = &tail[end + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
         FileView {
             lines,
             depth_at_start,
             in_test,
+            markers,
+            used: RefCell::new(BTreeSet::new()),
         }
     }
 
-    fn is_test(&self, idx: usize) -> bool {
+    /// Whether line `idx` (0-based) sits inside a test scope.
+    pub fn is_test(&self, idx: usize) -> bool {
         self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Brace depth at the start of line `idx` (0-based).
+    pub fn depth_at(&self, idx: usize) -> usize {
+        self.depth_at_start.get(idx).copied().unwrap_or(0)
+    }
+
+    fn marker_on(&self, idx: usize, rule: &str) -> Option<usize> {
+        self.markers
+            .iter()
+            .position(|(line, r)| *line == idx && r == rule)
     }
 
     /// True when line `idx` carries a `lint:allow(rule)` suppression — on
     /// the line itself, the line directly above, or anywhere in the
     /// contiguous comment block directly above (multi-line
-    /// justifications are encouraged).
-    fn suppressed(&self, idx: usize, rule: &str) -> bool {
-        let marker = format!("lint:allow({rule})");
-        if self.lines[idx].comment.contains(&marker) {
+    /// justifications are encouraged). Callers must only ask once a real
+    /// violation exists on `idx`: a `true` answer marks the matching
+    /// marker as *used*, which is what keeps it off the dead-suppression
+    /// audit.
+    pub fn suppressed(&self, idx: usize, rule: &str) -> bool {
+        if let Some(m) = self.marker_on(idx, rule) {
+            self.used.borrow_mut().insert(m);
             return true;
         }
         for i in (0..idx).rev() {
             let line = &self.lines[i];
-            if line.comment.contains(&marker) {
+            if let Some(m) = self.marker_on(i, rule) {
+                self.used.borrow_mut().insert(m);
                 return true;
             }
             // A code or blank line ends the comment block (the code line
@@ -100,6 +139,30 @@ impl<'a> FileView<'a> {
     }
 }
 
+/// `unused-allow`: after every other rule has run over the file, any
+/// `lint:allow(rule)` marker that suppressed nothing is itself a finding
+/// — the allowlist can only shrink. Markers naming unknown rules are
+/// ignored (prose like "lint:allow(rule-name)" in docs is not an allow).
+pub fn check_unused_allow(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    let used = view.used.borrow();
+    for (m, (idx, rule)) in view.markers.iter().enumerate() {
+        if !crate::SUPPRESSIBLE_RULES.contains(&rule.as_str()) {
+            continue;
+        }
+        if !used.contains(&m) {
+            out.push(Finding::new(
+                "unused-allow",
+                file,
+                idx + 1,
+                format!(
+                    "`lint:allow({rule})` suppresses nothing; remove the stale \
+                     marker (the allowlist can only shrink)"
+                ),
+            ));
+        }
+    }
+}
+
 /// `unwrap`: no `.unwrap()`, `.expect(`, or `panic!` in non-test library
 /// code. Test scopes, `tests/` integration files, and bench bins
 /// (`src/bin/`) are exempt — see [`crate::unwrap_rule_applies`].
@@ -107,11 +170,14 @@ pub fn check_unwrap(view: &FileView, file: &str, out: &mut Vec<Finding>) {
     const RULE: &str = "unwrap";
     const NEEDLES: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
     for (idx, line) in view.lines.iter().enumerate() {
-        if view.is_test(idx) || view.suppressed(idx, RULE) {
+        if view.is_test(idx) {
             continue;
         }
         for needle in NEEDLES {
             if line.code.contains(needle) {
+                if view.suppressed(idx, RULE) {
+                    break;
+                }
                 out.push(Finding::new(
                     RULE,
                     file,
@@ -134,11 +200,14 @@ pub fn check_wall_clock(view: &FileView, file: &str, out: &mut Vec<Finding>) {
     const RULE: &str = "wall-clock";
     const NEEDLES: [&str; 2] = ["SystemTime::now", "Instant::now"];
     for (idx, line) in view.lines.iter().enumerate() {
-        if view.is_test(idx) || view.suppressed(idx, RULE) {
+        if view.is_test(idx) {
             continue;
         }
         for needle in NEEDLES {
             if line.code.contains(needle) {
+                if view.suppressed(idx, RULE) {
+                    break;
+                }
                 out.push(Finding::new(
                     RULE,
                     file,
@@ -171,7 +240,7 @@ pub fn check_ordering(view: &FileView, file: &str, out: &mut Vec<Finding>) {
             active.push(depth);
             continue;
         }
-        if view.is_test(idx) || view.suppressed(idx, RULE) {
+        if view.is_test(idx) {
             continue;
         }
         let uses_atomic = ATOMIC_ORDERINGS.iter().any(|o| line.code.contains(o));
@@ -181,7 +250,7 @@ pub fn check_ordering(view: &FileView, file: &str, out: &mut Vec<Finding>) {
         let same_line = line.comment.contains(MARKER);
         let line_above = idx > 0 && view.lines[idx - 1].comment.contains(MARKER);
         let block = !active.is_empty();
-        if !(same_line || line_above || block) {
+        if !(same_line || line_above || block || view.suppressed(idx, RULE)) {
             out.push(Finding::new(
                 RULE,
                 file,
@@ -288,11 +357,14 @@ pub fn check_region_map(view: &FileView, file: &str, out: &mut Vec<Finding>) {
         ".shed_replica(",
     ];
     for (idx, line) in view.lines.iter().enumerate() {
-        if view.is_test(idx) || view.suppressed(idx, RULE) {
+        if view.is_test(idx) {
             continue;
         }
         for needle in NEEDLES {
             if line.code.contains(needle) {
+                if view.suppressed(idx, RULE) {
+                    break;
+                }
                 out.push(Finding::new(
                     RULE,
                     file,
@@ -327,11 +399,14 @@ pub fn check_wire_bounded(view: &FileView, file: &str, out: &mut Vec<Finding>) {
         "set_read_timeout(None)",
     ];
     for (idx, line) in view.lines.iter().enumerate() {
-        if view.is_test(idx) || view.suppressed(idx, RULE) {
+        if view.is_test(idx) {
             continue;
         }
         for needle in NEEDLES {
             if line.code.contains(needle) {
+                if view.suppressed(idx, RULE) {
+                    break;
+                }
                 out.push(Finding::new(
                     RULE,
                     file,
@@ -417,6 +492,208 @@ pub fn check_metrics_sync(
             ));
         }
     }
+}
+
+/// `wire-exhaustive`: the wire protocol's `Message` enum
+/// (`crates/wire/src/msg.rs`) must stay closed under its own codecs.
+/// `decode` is a runtime `match` over a `u8` tag — the compiler cannot
+/// prove it covers every variant the way it proves `tag()` /
+/// `encode_payload()` exhaustive — so this rule cross-checks, per
+/// variant: a `tag()` arm, a `decode` arm for that tag value, and a
+/// round-trip reference from the file's test module. Duplicate tag
+/// values and decode arms for unknown tags are also findings.
+pub fn check_wire_exhaustive(view: &FileView, file: &str, out: &mut Vec<Finding>) {
+    const RULE: &str = "wire-exhaustive";
+    let mut push = |view: &FileView, idx: usize, message: String| {
+        if !view.suppressed(idx, RULE) {
+            out.push(Finding::new(RULE, file, idx + 1, message));
+        }
+    };
+
+    // The enum body: every variant name, with the line it is declared on.
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    if let Some(open) = view
+        .lines
+        .iter()
+        .position(|l| l.code.contains("enum Message"))
+    {
+        let floor = view.depth_at(open);
+        for (idx, line) in view.lines.iter().enumerate().skip(open + 1) {
+            // The enum's closing `}` line sits at depth floor+1; the first
+            // line back at the floor is past the body.
+            if view.depth_at(idx) <= floor {
+                break;
+            }
+            if view.depth_at(idx) != floor + 1 {
+                continue;
+            }
+            let trimmed = line.code.trim_start();
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                variants.push((name, idx));
+            }
+        }
+    }
+    if variants.is_empty() {
+        return;
+    }
+
+    // `fn tag()` arms: variant -> tag value. `fn decode(` arms: the tag
+    // literals handled. `encode_payload` arms and test-scope references:
+    // the variant names mentioned.
+    let mut tag_of: Vec<(String, u64, usize)> = Vec::new();
+    let mut decode_tags: Vec<(u64, usize)> = Vec::new();
+    let mut encoded: BTreeSet<String> = BTreeSet::new();
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    let mut decode_line = None;
+    // (which fn, line it opened on, depth floor)
+    let mut region: Option<(&str, usize, usize)> = None;
+    for (idx, line) in view.lines.iter().enumerate() {
+        let code = &line.code;
+        if let Some((_, opened, floor)) = region {
+            if idx > opened && view.depth_at(idx) <= floor {
+                region = None;
+            }
+        }
+        if region.is_none() {
+            for (name, marker) in [
+                ("tag", "fn tag("),
+                ("decode", "fn decode("),
+                ("encode", "fn encode_payload("),
+            ] {
+                if code.contains(marker) {
+                    region = Some((name, idx, view.depth_at(idx)));
+                    if name == "decode" {
+                        decode_line = Some(idx);
+                    }
+                }
+            }
+        }
+        let Some((fn_name, _, _)) = region else {
+            continue;
+        };
+        match fn_name {
+            "tag" => {
+                if let (Some(v), Some(t)) = (message_variant_in(code), hex_after_arrow(code)) {
+                    tag_of.push((v, t, idx));
+                }
+            }
+            "decode" => {
+                let trimmed = code.trim_start();
+                if trimmed.starts_with("0x") && code.contains("=>") {
+                    if let Some(t) = parse_hex(trimmed) {
+                        decode_tags.push((t, idx));
+                    }
+                }
+            }
+            "encode" => {
+                encoded.extend(message_variants_in(code));
+            }
+            _ => {}
+        }
+    }
+    for (idx, line) in view.lines.iter().enumerate() {
+        if view.is_test(idx) {
+            tested.extend(message_variants_in(&line.code));
+        }
+    }
+
+    for (variant, idx) in &variants {
+        let Some((_, tag, _)) = tag_of.iter().find(|(v, _, _)| v == variant) else {
+            // `tag()` is a compiler-checked match; a missing arm means the
+            // extraction failed, which is worth a loud finding too.
+            push(
+                view,
+                *idx,
+                format!("variant `{variant}` has no `tag()` arm"),
+            );
+            continue;
+        };
+        if !encoded.contains(variant) {
+            push(
+                view,
+                *idx,
+                format!("variant `{variant}` has no `encode_payload()` arm"),
+            );
+        }
+        if !decode_tags.iter().any(|(t, _)| t == tag) {
+            push(
+                view,
+                decode_line.unwrap_or(*idx),
+                format!(
+                    "variant `{variant}` (tag {tag:#04x}) has no `decode` arm; \
+                     a peer sending it gets an unknown-tag error"
+                ),
+            );
+        }
+        if !tested.contains(variant) {
+            push(
+                view,
+                *idx,
+                format!("variant `{variant}` has no round-trip test reference"),
+            );
+        }
+    }
+    for (i, (variant, tag, idx)) in tag_of.iter().enumerate() {
+        if let Some((other, _, _)) = tag_of[..i].iter().find(|(_, t, _)| t == tag) {
+            push(
+                view,
+                *idx,
+                format!("tag {tag:#04x} assigned to both `{other}` and `{variant}`"),
+            );
+        }
+    }
+    for (tag, idx) in &decode_tags {
+        if !tag_of.iter().any(|(_, t, _)| t == tag) {
+            push(
+                view,
+                *idx,
+                format!("`decode` arm for tag {tag:#04x} matches no `tag()` arm"),
+            );
+        }
+    }
+}
+
+/// `Message::Ident` in `code`, if any.
+fn message_variant_in(code: &str) -> Option<String> {
+    message_variants_in(code).into_iter().next()
+}
+
+/// Every `Message::X` variant named in `code` — grouped match arms like
+/// `Message::Ping | Message::Pong => {}` mention several per line.
+fn message_variants_in(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(at) = rest.find("Message::") {
+        rest = &rest[at + "Message::".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// The `0x…` literal after `=>` in `code`, if any.
+fn hex_after_arrow(code: &str) -> Option<u64> {
+    let at = code.find("=>")?;
+    let tail = code[at + 2..].trim_start();
+    parse_hex(tail)
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let digits: String = s
+        .strip_prefix("0x")?
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect();
+    u64::from_str_radix(&digits, 16).ok()
 }
 
 #[cfg(test)]

@@ -101,6 +101,11 @@ pub fn run_driver_with_telemetry(
     measurements: Arc<Measurements>,
     telemetry: Option<&RunTelemetry>,
 ) -> DriverReport {
+    // lint:allow(panic-reachability) configuration invariant, not a
+    // runtime hazard: the default is 10, the bench bins set it from
+    // validated flags, and `execute_phase` rejects a wire spec with
+    // zero threads before this call — so the assert only fires on a
+    // programming error in a caller, where loud beats silent.
     assert!(config.threads > 0, "driver needs at least one thread");
     let substation = substation_key(config.substation_index);
     let started = Instant::now();

@@ -394,6 +394,12 @@ fn execute_phase(spec: &RunPhaseSpec) -> Result<(Vec<OpSummary>, RecorderState),
             spec.sub_lo, spec.sub_hi, spec.substations
         ));
     }
+    // The spec arrives over the wire; reject it at the protocol boundary
+    // instead of letting the driver's own invariant check panic a whole
+    // agent on a malformed controller.
+    if spec.threads == 0 {
+        return Err("phase spec requires at least one driver thread".to_string());
+    }
     let phase = if spec.phase == 0 {
         Phase::Warmup
     } else {

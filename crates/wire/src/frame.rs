@@ -21,7 +21,13 @@ pub struct FrameConn {
 
 impl FrameConn {
     /// Wraps an accepted or connected stream. The read timeout is
-    /// mandatory — `FrameConn` refuses to read from an unbounded socket.
+    /// mandatory — `FrameConn` refuses to read from an unbounded socket —
+    /// and the same bound is applied to writes: a peer that stops
+    /// draining its receive window must not wedge a sender forever
+    /// (server handlers send replies while holding a cluster read guard;
+    /// an unbounded `write_all` there would wedge every writer waiting
+    /// on that lock, and parking_lot's writer preference then wedges new
+    /// readers too).
     pub fn new(stream: TcpStream, read_timeout: Duration) -> Result<FrameConn, WireError> {
         if read_timeout.is_zero() {
             return Err(WireError::permanent(
@@ -29,6 +35,7 @@ impl FrameConn {
             ));
         }
         stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(read_timeout))?;
         // Frames are small and latency-sensitive; Nagle only hurts here.
         stream.set_nodelay(true)?;
         Ok(FrameConn { stream })
@@ -45,7 +52,10 @@ impl FrameConn {
     }
 
     /// Adjusts the read timeout mid-connection (e.g. the controller
-    /// widens it while waiting on a whole workload execution).
+    /// widens it while waiting on a whole workload execution). The write
+    /// timeout keeps its construction-time bound: waiting longer for a
+    /// slow *computation* is fine, waiting longer on a peer that stopped
+    /// draining its window is not.
     pub fn set_read_timeout(&mut self, read_timeout: Duration) -> Result<(), WireError> {
         if read_timeout.is_zero() {
             return Err(WireError::permanent("read timeout must be nonzero"));

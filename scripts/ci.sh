@@ -24,8 +24,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --workspace --release
 
-echo "== workspace analyzer =="
-cargo run --release -q -p analyzer -- check
+echo "== workspace analyzer (baseline-gated) =="
+# JSON output is byte-deterministic; the gate fails on any finding not in
+# the committed baseline and on any stale baseline entry. The non-empty
+# check guards against the analyzer silently scanning zero files.
+ANALYZER_OUT="$(cargo run --release -q -p analyzer -- \
+    check --format json --baseline analyzer-baseline.json)" || {
+    echo "new analyzer findings (not in analyzer-baseline.json):"
+    echo "$ANALYZER_OUT"
+    exit 1
+}
+[[ "$ANALYZER_OUT" == "[]" ]] || { echo "unexpected analyzer output: $ANALYZER_OUT"; exit 1; }
+
+echo "== workspace analyzer (lock-order graph renders) =="
+cargo run --release -q -p analyzer -- graph --dot > /dev/null
 
 if [[ "${1:-}" != "quick" ]]; then
     echo "== cargo test =="
